@@ -1,0 +1,25 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper (quick effort),
+prints the paper-style rows, asserts the figure's qualitative claims
+(who wins, where crossovers fall), and archives the JSON result under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_experiment(benchmark, run_fn):
+    """Run one experiment under pytest-benchmark and archive its result."""
+    result = benchmark.pedantic(run_fn, kwargs={"quick": True},
+                                iterations=1, rounds=1)
+    print()
+    print(result.render(value_format="{:>12.2f}"))
+    result.save_json(RESULTS_DIR)
+    return result

@@ -1,0 +1,12 @@
+"""Benchmark harness and per-figure experiment reproductions."""
+
+from .harness import RunConfig, RunResult, WorkloadRunner
+from .reporting import ExperimentResult, Series
+
+__all__ = [
+    "ExperimentResult",
+    "RunConfig",
+    "RunResult",
+    "Series",
+    "WorkloadRunner",
+]

@@ -1,0 +1,48 @@
+"""One experiment module per table/figure of the paper's evaluation.
+
+Each module exposes ``run(quick: bool = True) -> ExperimentResult``.
+:data:`REGISTRY` maps experiment ids to their run functions so the CLI
+and the benchmark suite can enumerate them.
+"""
+
+from . import (
+    fig5_memory_mode,
+    queue_size,
+    recovery_overhead,
+    replacement_ablation,
+    fig6_bypass_dram,
+    fig7_bypass_nvm,
+    fig8_nvm_writes,
+    fig9_hierarchy_ratio,
+    fig10_adaptive,
+    fig11_granularity,
+    fig12_ablation,
+    fig13_lifetime,
+    fig14_design,
+    fig15_dbsize,
+    table1_devices,
+    table2_inclusivity,
+)
+
+#: Experiment id -> run callable, in paper order.
+REGISTRY = {
+    "table1": table1_devices.run,
+    "fig5": fig5_memory_mode.run,
+    "table2": table2_inclusivity.run,
+    "fig6": fig6_bypass_dram.run,
+    "fig7": fig7_bypass_nvm.run,
+    "fig8": fig8_nvm_writes.run,
+    "fig9": fig9_hierarchy_ratio.run,
+    "fig10": fig10_adaptive.run,
+    "fig11": fig11_granularity.run,
+    "fig12": fig12_ablation.run,
+    "fig13": fig13_lifetime.run,
+    "fig14": fig14_design.run,
+    "fig15": fig15_dbsize.run,
+    # Ablations beyond the paper's numbered figures.
+    "queue_size": queue_size.run,
+    "recovery": recovery_overhead.run,
+    "replacement": replacement_ablation.run,
+}
+
+__all__ = ["REGISTRY"]

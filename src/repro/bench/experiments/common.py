@@ -1,0 +1,121 @@
+"""Shared builders for the per-figure experiment modules.
+
+Each experiment constructs hierarchies/buffer managers through these
+helpers so that protocol choices (warm-up, priming, WAL, scaling) are
+consistent across figures, exactly as the paper uses one platform and
+measurement protocol for its whole evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.buffer_manager import BufferManager, BufferManagerConfig
+from ...core.policy import MigrationPolicy
+from ...hardware.cost_model import StorageHierarchy
+from ...hardware.pricing import HierarchyShape
+from ...hardware.specs import DEFAULT_SCALE, SimulationScale
+from ...workloads.tpcc import TpccWorkload
+from ...workloads.ycsb import YcsbMix, YcsbWorkload
+from ..harness import RunConfig, RunResult, WorkloadRunner
+
+#: Coarser scale for the large-database experiments (Figs. 5, 14, 15)
+#: so that 300 GB-class configurations stay fast.
+COARSE_SCALE = SimulationScale(pages_per_gb=16)
+
+
+@dataclass(frozen=True)
+class Effort:
+    """Operation-count envelope for one experiment run."""
+
+    warmup_ops: int
+    measure_ops: int
+
+
+QUICK = Effort(warmup_ops=8_000, measure_ops=15_000)
+FULL = Effort(warmup_ops=30_000, measure_ops=60_000)
+
+
+def effort(quick: bool) -> Effort:
+    return QUICK if quick else FULL
+
+
+def build_bm(
+    shape: HierarchyShape,
+    policy: MigrationPolicy,
+    scale: SimulationScale = DEFAULT_SCALE,
+    bm_config: BufferManagerConfig | None = None,
+    memory_mode: bool = False,
+    seed: int = 42,
+) -> BufferManager:
+    """A fresh hierarchy + buffer manager for one run."""
+    hierarchy = StorageHierarchy(shape, scale, memory_mode=memory_mode)
+    if bm_config is None:
+        bm_config = BufferManagerConfig(seed=seed)
+    return BufferManager(hierarchy, policy, bm_config)
+
+
+def run_ycsb(
+    bm: BufferManager,
+    mix: YcsbMix,
+    db_gb: float,
+    scale: SimulationScale = DEFAULT_SCALE,
+    skew: float = 0.3,
+    eff: Effort = QUICK,
+    workers: int = 1,
+    extra_worker_counts: tuple[int, ...] = (16,),
+    with_wal: bool = True,
+    seed: int = 3,
+) -> RunResult:
+    """One measured YCSB run on a prepared buffer manager."""
+    tuples_per_page = 16  # 16 KB pages of 1 KB tuples
+    num_tuples = scale.pages(db_gb) * tuples_per_page
+    workload = YcsbWorkload(num_tuples=num_tuples, mix=mix, skew=skew, seed=seed)
+    runner = WorkloadRunner(
+        bm,
+        RunConfig(
+            warmup_ops=eff.warmup_ops,
+            measure_ops=eff.measure_ops,
+            workers=workers,
+            with_wal=with_wal,
+        ),
+    )
+    return runner.measure_ycsb(workload, extra_worker_counts=extra_worker_counts)
+
+
+def run_tpcc(
+    bm: BufferManager,
+    db_gb: float,
+    scale: SimulationScale = DEFAULT_SCALE,
+    eff: Effort = QUICK,
+    workers: int = 1,
+    extra_worker_counts: tuple[int, ...] = (16,),
+    with_wal: bool = True,
+    seed: int = 3,
+) -> RunResult:
+    """One measured TPC-C run on a prepared buffer manager."""
+    workload = TpccWorkload(db_gigabytes=db_gb, scale=scale, seed=seed)
+    runner = WorkloadRunner(
+        bm,
+        RunConfig(
+            warmup_ops=eff.warmup_ops,
+            measure_ops=eff.measure_ops,
+            workers=workers,
+            with_wal=with_wal,
+        ),
+    )
+    return runner.measure_tpcc(workload, extra_worker_counts=extra_worker_counts)
+
+
+#: The probability levels swept by the policy experiments (Figs. 6-9).
+SWEEP_PROBS = (0.0, 0.01, 0.1, 1.0)
+
+#: The §6.3 hierarchy: 12.5 GB DRAM + 50 GB NVM over SSD.
+POLICY_SHAPE = HierarchyShape(dram_gb=12.5, nvm_gb=50.0, ssd_gb=200.0)
+
+#: The §6.5 hierarchy: 8 GB DRAM + 32 GB NVM over SSD, ~20 GB database.
+HYMEM_SHAPE = HierarchyShape(dram_gb=8.0, nvm_gb=32.0, ssd_gb=100.0)
+HYMEM_DB_GB = 20.0
+
+#: §6.3's database: 100 GB YCSB / TPC-C.
+POLICY_DB_GB = 100.0

@@ -1,0 +1,60 @@
+"""Fig. 6 — Performance impact of bypassing DRAM (§6.3).
+
+Sweeps the DRAM migration probabilities ``D_r = D_w = D`` over
+{0, 0.01, 0.1, 1} with an eager NVM policy (N = 1) on the §6.3
+hierarchy (12.5 GB DRAM + 50 GB NVM, 100 GB database).
+
+Expected shape: throughput peaks at the lazy D = 0.01 (58% over eager
+on YCSB-RO in the paper); D = 0 (DRAM disabled) drops ~20% below the
+peak; the eager D = 1 is the worst of the non-zero settings.
+"""
+
+from __future__ import annotations
+
+from ...core.policy import MigrationPolicy
+from ...workloads.ycsb import MIXES
+from ..reporting import ExperimentResult
+from .common import (
+    POLICY_DB_GB,
+    POLICY_SHAPE,
+    SWEEP_PROBS,
+    build_bm,
+    effort,
+    run_tpcc,
+    run_ycsb,
+)
+
+WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH", "TPC-C")
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    eff = effort(quick)
+    result = ExperimentResult(
+        "fig6", "Performance Impact of Bypassing DRAM (D sweep, N=1)"
+    )
+    result.metadata.update(
+        dram_gb=POLICY_SHAPE.dram_gb, nvm_gb=POLICY_SHAPE.nvm_gb,
+        db_gb=POLICY_DB_GB,
+    )
+    for workload in WORKLOADS:
+        one = result.new_series(f"{workload}/1w")
+        sixteen = result.new_series(f"{workload}/16w")
+        for d in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0,
+                                     name=f"D={d}")
+            bm = build_bm(POLICY_SHAPE, policy)
+            if workload == "TPC-C":
+                res = run_tpcc(bm, POLICY_DB_GB, eff=eff)
+            else:
+                res = run_ycsb(bm, MIXES[workload], POLICY_DB_GB, eff=eff)
+            one.add(d, res.throughput)
+            sixteen.add(d, res.throughput_by_workers[16])
+    for workload in WORKLOADS:
+        series = result.series[f"{workload}/1w"]
+        peak = max(series.ys)
+        result.note(
+            f"{workload}: peak at D={series.peak_x}, "
+            f"peak/eager={peak / series.y_at(1.0):.2f}x, "
+            f"D=0 at {series.y_at(0.0) / peak:.2f} of peak"
+        )
+    return result

@@ -1,0 +1,63 @@
+"""Fig. 7 — Performance impact of bypassing NVM (§6.3).
+
+Sweeps the NVM migration probabilities ``N_r = N_w = N`` over
+{0, 0.01, 0.1, 1} with an eager DRAM policy (D = 1) on the §6.3
+hierarchy.
+
+Expected shape: lazy N (0.01-0.1) beats eager N = 1 (1.25x on YCSB-RO
+in the paper); N = 0 collapses because it forfeits the NVM buffer's
+capacity entirely, and the collapse is much deeper with 16 workers
+(the SSD saturates).
+"""
+
+from __future__ import annotations
+
+from ...core.policy import MigrationPolicy
+from ...workloads.ycsb import MIXES
+from ..reporting import ExperimentResult
+from .common import (
+    POLICY_DB_GB,
+    POLICY_SHAPE,
+    SWEEP_PROBS,
+    build_bm,
+    effort,
+    run_tpcc,
+    run_ycsb,
+)
+
+WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH", "TPC-C")
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    eff = effort(quick)
+    result = ExperimentResult(
+        "fig7", "Performance Impact of Bypassing NVM (N sweep, D=1)"
+    )
+    result.metadata.update(
+        dram_gb=POLICY_SHAPE.dram_gb, nvm_gb=POLICY_SHAPE.nvm_gb,
+        db_gb=POLICY_DB_GB,
+    )
+    for workload in WORKLOADS:
+        one = result.new_series(f"{workload}/1w")
+        sixteen = result.new_series(f"{workload}/16w")
+        for n in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n,
+                                     name=f"N={n}")
+            bm = build_bm(POLICY_SHAPE, policy)
+            if workload == "TPC-C":
+                res = run_tpcc(bm, POLICY_DB_GB, eff=eff)
+            else:
+                res = run_ycsb(bm, MIXES[workload], POLICY_DB_GB, eff=eff)
+            one.add(n, res.throughput)
+            sixteen.add(n, res.throughput_by_workers[16])
+    for workload in WORKLOADS:
+        one = result.series[f"{workload}/1w"]
+        sixteen = result.series[f"{workload}/16w"]
+        lazy = max(one.y_at(0.01), one.y_at(0.1))
+        lazy16 = max(sixteen.y_at(0.01), sixteen.y_at(0.1))
+        result.note(
+            f"{workload}: lazy/eager={lazy / one.y_at(1.0):.2f}x (1w); "
+            f"N=0 gap: {lazy / one.y_at(0.0):.2f}x (1w), "
+            f"{lazy16 / sixteen.y_at(0.0):.2f}x (16w)"
+        )
+    return result

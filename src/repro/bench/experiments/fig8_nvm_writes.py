@@ -1,0 +1,47 @@
+"""Fig. 8 — Impact of bypassing NVM on writes to NVM (§6.3).
+
+Measures the NVM media write volume while sweeping ``N`` (with D = 1)
+on the YCSB mixes.
+
+Expected shape: write volume grows with N everywhere; the relative
+reduction from eager to lazy is largest on the read-only mix (the paper
+reports 91.8x between N = 1 and N = 0.1 on YCSB-RO, versus only
+1.3-1.6x on the write-heavy mixes, because updates must reach NVM
+regardless).
+"""
+
+from __future__ import annotations
+
+from ...core.policy import MigrationPolicy
+from ...workloads.ycsb import MIXES
+from ..reporting import ExperimentResult
+from .common import POLICY_DB_GB, POLICY_SHAPE, SWEEP_PROBS, build_bm, effort, run_ycsb
+
+WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH")
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    eff = effort(quick)
+    result = ExperimentResult(
+        "fig8", "Impact of Bypassing NVM on Writes to NVM (write volume, GB)"
+    )
+    result.metadata.update(
+        dram_gb=POLICY_SHAPE.dram_gb, nvm_gb=POLICY_SHAPE.nvm_gb,
+        db_gb=POLICY_DB_GB, measure_ops=eff.measure_ops,
+    )
+    for workload in WORKLOADS:
+        series = result.new_series(workload)
+        for n in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n)
+            bm = build_bm(POLICY_SHAPE, policy)
+            res = run_ycsb(bm, MIXES[workload], POLICY_DB_GB, eff=eff,
+                           extra_worker_counts=())
+            series.add(n, res.nvm_write_gb)
+    for workload in WORKLOADS:
+        series = result.series[workload]
+        lazy = max(series.y_at(0.1), 1e-9)
+        result.note(
+            f"{workload}: eager/lazy(N=0.1) write volume = "
+            f"{series.y_at(1.0) / lazy:.1f}x"
+        )
+    return result

@@ -1,0 +1,42 @@
+"""Fig. 9 — Impact of the storage hierarchy on the optimal policy (§6.3).
+
+Fixes a 10 GB NVM buffer and varies the DRAM buffer over 1.25 / 2.5 /
+5 GB (DRAM:NVM ratios 1:8, 1:4, 1:2), sweeping D on YCSB-RO.
+
+Expected shape: at 1:8 the tiny DRAM buffer is not worth its migration
+churn, so the optimal D collapses toward 0; as the ratio grows to 1:2
+a lazy non-zero D (0.01) wins by keeping hot pages in DRAM with low
+inclusivity.
+"""
+
+from __future__ import annotations
+
+from ...core.policy import MigrationPolicy
+from ...hardware.pricing import HierarchyShape
+from ...workloads.ycsb import YCSB_RO
+from ..reporting import ExperimentResult
+from .common import SWEEP_PROBS, build_bm, effort, run_ycsb
+
+NVM_GB = 10.0
+DRAM_SIZES = (1.25, 2.5, 5.0)
+DB_GB = 40.0
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    eff = effort(quick)
+    result = ExperimentResult(
+        "fig9", "Impact of Storage Hierarchy (D sweep per DRAM:NVM ratio)"
+    )
+    result.metadata.update(nvm_gb=NVM_GB, db_gb=DB_GB, workload="YCSB-RO")
+    for dram_gb in DRAM_SIZES:
+        ratio = int(round(NVM_GB / dram_gb))
+        series = result.new_series(f"1:{ratio}")
+        shape = HierarchyShape(dram_gb=dram_gb, nvm_gb=NVM_GB, ssd_gb=100.0)
+        for d in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0)
+            bm = build_bm(shape, policy)
+            res = run_ycsb(bm, YCSB_RO, DB_GB, eff=eff, extra_worker_counts=())
+            series.add(d, res.throughput)
+    for label, series in result.series.items():
+        result.note(f"ratio {label}: optimal D = {series.peak_x}")
+    return result

@@ -1,0 +1,60 @@
+"""Table 2 — Inclusivity ratio of the DRAM & NVM buffers (§3.3, §6.3).
+
+Measures the duplication between the DRAM and NVM buffers while
+sweeping D (with N = 1) and N (with D = 1), for all four workloads.
+
+Expected shape per the paper: the ratio is 0 at probability 0, grows
+monotonically with the migration probability, and lazy policies keep it
+well below the eager policy's (which lands near the DRAM:union capacity
+ratio, ~0.25 for the 12.5/50 GB hierarchy).
+"""
+
+from __future__ import annotations
+
+from ...core.policy import MigrationPolicy
+from ...workloads.ycsb import MIXES
+from ..reporting import ExperimentResult
+from .common import (
+    POLICY_DB_GB,
+    POLICY_SHAPE,
+    SWEEP_PROBS,
+    build_bm,
+    effort,
+    run_tpcc,
+    run_ycsb,
+)
+
+WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH", "TPC-C")
+
+
+def _measure(workload: str, policy: MigrationPolicy, eff) -> float:
+    bm = build_bm(POLICY_SHAPE, policy)
+    if workload == "TPC-C":
+        res = run_tpcc(bm, POLICY_DB_GB, eff=eff, extra_worker_counts=())
+    else:
+        res = run_ycsb(bm, MIXES[workload], POLICY_DB_GB, eff=eff,
+                       extra_worker_counts=())
+    return res.inclusivity
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    eff = effort(quick)
+    result = ExperimentResult(
+        "table2", "Inclusivity Ratio of DRAM & NVM Buffers"
+    )
+    result.metadata.update(
+        dram_gb=POLICY_SHAPE.dram_gb, nvm_gb=POLICY_SHAPE.nvm_gb,
+        db_gb=POLICY_DB_GB,
+    )
+    for workload in WORKLOADS:
+        series = result.new_series(f"Bypassing DRAM (D)/{workload}")
+        for d in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0)
+            series.add(d, _measure(workload, policy, eff))
+    for workload in WORKLOADS:
+        series = result.new_series(f"Bypassing NVM (N)/{workload}")
+        for n in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n)
+            series.add(n, _measure(workload, policy, eff))
+    result.note("lower non-zero values are better (less duplication)")
+    return result

@@ -1,0 +1,261 @@
+"""Workload runner: warm-up, measurement, and simulated throughput.
+
+Every experiment in the paper follows the same protocol (§6.1): build a
+storage hierarchy, warm the buffer pools by running the workload, then
+measure throughput over a measurement window.  :class:`WorkloadRunner`
+implements that protocol for both YCSB and TPC-C against any
+:class:`~repro.core.buffer_manager.BufferManager`, charging WAL and
+checkpoint traffic for update operations.
+
+Throughput is *simulated* operations per second: the cost accumulator's
+makespan analysis converts accumulated device/CPU demands into time for
+a configured worker count (1 and 16 in most of the paper's plots — both
+can be derived from the same run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.buffer_manager import BufferManager
+from ..core.stats import BufferStats
+from ..hardware.specs import Tier
+from ..wal.checkpoint import Checkpointer
+from ..wal.log_manager import LogManager
+from ..wal.records import LogRecordType
+from ..workloads.tpcc import PageAccess, TpccWorkload
+from ..workloads.ycsb import COLUMN_SIZE, OpKind, TUPLE_SIZE, YcsbWorkload
+
+#: Placeholder images used when charging log-record sizes; the content
+#: is irrelevant to the cost model, only the length matters.
+_UPDATE_BEFORE = bytes(COLUMN_SIZE)
+_UPDATE_AFTER = bytes(COLUMN_SIZE)
+
+
+@dataclass
+class RunConfig:
+    """Measurement protocol parameters."""
+
+    warmup_ops: int = 20_000
+    measure_ops: int = 30_000
+    workers: int = 1
+    #: Warm-start the buffers with the workload's hottest pages before
+    #: the warm-up phase, approximating the paper's fill-until-full
+    #: warm-up without its multi-minute runtime.
+    prime_buffers: bool = True
+    #: Charge WAL traffic for updates (disable for pure-BM microbenches).
+    with_wal: bool = True
+    #: Write operations between checkpoint flushes; None disables them.
+    checkpoint_interval_ops: int | None = 2_000
+    #: Operations between inclusivity samples.
+    inclusivity_sample_every: int = 2_000
+
+
+@dataclass
+class RunResult:
+    """Everything a single measured run produces."""
+
+    label: str
+    operations: int
+    #: ops per simulated second at the configured worker count.
+    throughput: float
+    workers: int
+    stats: BufferStats
+    inclusivity: float
+    nvm_write_gb: float
+    makespan_ns: float
+    #: Throughput recomputed for other worker counts from the same run.
+    throughput_by_workers: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def throughput_kops(self) -> float:
+        return self.throughput / 1e3
+
+
+class WorkloadRunner:
+    """Drives one buffer manager with one workload."""
+
+    def __init__(self, bm: BufferManager, config: RunConfig | None = None) -> None:
+        self.bm = bm
+        self.config = config or RunConfig()
+        self.hierarchy = bm.hierarchy
+        self.log: LogManager | None = None
+        self.checkpointer: Checkpointer | None = None
+        if self.config.with_wal:
+            self.log = LogManager(self.hierarchy)
+            if self.config.checkpoint_interval_ops:
+                self.checkpointer = Checkpointer(
+                    self.bm, self.log, self.config.checkpoint_interval_ops,
+                    truncate_log=True,
+                )
+
+    # ------------------------------------------------------------------
+    # Database setup
+    # ------------------------------------------------------------------
+    def allocate_database(self, num_pages: int) -> None:
+        """Create the SSD-resident database pages."""
+        for page_id in range(num_pages):
+            if not self.bm.page_exists(page_id):
+                self.bm.allocate_page(page_id)
+
+    # ------------------------------------------------------------------
+    # Operation execution
+    # ------------------------------------------------------------------
+    def _charge_update_wal(self, page_id: int) -> None:
+        if self.log is not None:
+            self.hierarchy.charge_cpu(self.hierarchy.cpu_costs.logging_ns)
+            self.log.append(
+                LogRecordType.UPDATE, txn_id=1, page_id=page_id,
+                before=_UPDATE_BEFORE, after=_UPDATE_AFTER,
+            )
+            self.log.commit(txn_id=1)
+        if self.checkpointer is not None:
+            self.checkpointer.note_operation(is_write=True)
+
+    def run_ycsb_op(self, workload: YcsbWorkload) -> bool:
+        """Execute one YCSB operation; returns True when it was a write."""
+        op = workload.next_op()
+        page_id = workload.page_of(op.key)
+        offset = workload.offset_of(op.key, op.column)
+        if op.kind is OpKind.READ:
+            self.bm.read(page_id, offset, TUPLE_SIZE)
+            return False
+        self.bm.write(page_id, offset, COLUMN_SIZE)
+        self._charge_update_wal(page_id)
+        return True
+
+    def run_access(self, access: PageAccess) -> bool:
+        """Execute one pre-generated page access (TPC-C / traces).
+
+        TPC-C's insert regions grow during the run, so unseen pages are
+        allocated on first touch.
+        """
+        if not self.bm.page_exists(access.page_id):
+            self.bm.allocate_page(access.page_id)
+        if access.is_write:
+            self.bm.write(access.page_id, access.offset, access.nbytes)
+            self._charge_update_wal(access.page_id)
+            return True
+        self.bm.read(access.page_id, access.offset, access.nbytes)
+        return False
+
+    # ------------------------------------------------------------------
+    # Full measurement protocol
+    # ------------------------------------------------------------------
+    def measure_ycsb(self, workload: YcsbWorkload, label: str | None = None,
+                     extra_worker_counts: tuple[int, ...] = ()) -> RunResult:
+        self.allocate_database(workload.num_pages)
+        if self.config.prime_buffers:
+            self._prime(workload.page_popularity())
+        return self._measure(
+            step=lambda: self.run_ycsb_op(workload),
+            label=label or workload.mix.name,
+            extra_worker_counts=extra_worker_counts,
+        )
+
+    def measure_tpcc(self, workload: TpccWorkload, label: str = "TPC-C",
+                     extra_worker_counts: tuple[int, ...] = ()) -> RunResult:
+        self.allocate_database(workload.num_pages)
+        if self.config.prime_buffers:
+            self._prime(workload.page_popularity())
+        stream = self._tpcc_stream(workload)
+        return self._measure(
+            step=lambda: self.run_access(next(stream)),
+            label=label,
+            extra_worker_counts=extra_worker_counts,
+        )
+
+    def _prime(self, ranked_pages: list[int]) -> None:
+        """Warm-start: hottest pages into DRAM, the next tier of heat
+        into NVM — but only on tiers the policy can actually populate."""
+        policy = self.bm.policy
+        cursor = 0
+        dram_reachable = (
+            self.bm.has_dram and (policy.d_r > 0 or policy.d_w > 0
+                                  or not self.bm.has_nvm)
+        )
+        nvm_reachable = self.bm.has_nvm and (
+            policy.n_r > 0 or policy.n_w > 0
+            or self.bm.admission_queue is not None
+        )
+        if dram_reachable:
+            while cursor < len(ranked_pages):
+                if not self.bm.prime_page(Tier.DRAM, ranked_pages[cursor]):
+                    break
+                cursor += 1
+        if nvm_reachable:
+            while cursor < len(ranked_pages):
+                if not self.bm.prime_page(Tier.NVM, ranked_pages[cursor]):
+                    break
+                cursor += 1
+
+    @staticmethod
+    def _tpcc_stream(workload: TpccWorkload):
+        while True:
+            yield from workload.next_transaction()
+
+    def measure_trace(self, trace, label: str = "trace",
+                      extra_worker_counts: tuple[int, ...] = ()) -> RunResult:
+        """Measure a recorded access trace (wraps around when short).
+
+        Replaying one trace through several buffer managers gives an
+        exactly-matched comparison — the Fig. 12 ablation methodology.
+        """
+        if not len(trace):
+            raise ValueError("cannot measure an empty trace")
+        self.allocate_database(trace.num_pages)
+        if self.config.prime_buffers:
+            heat: dict[int, int] = {}
+            for access in trace:
+                heat[access.page_id] = heat.get(access.page_id, 0) + 1
+            self._prime(sorted(heat, key=heat.get, reverse=True))
+        accesses = list(trace)
+
+        def stream():
+            index = 0
+            while True:
+                yield accesses[index % len(accesses)]
+                index += 1
+
+        iterator = stream()
+        return self._measure(
+            step=lambda: self.run_access(next(iterator)),
+            label=label,
+            extra_worker_counts=extra_worker_counts,
+        )
+
+    def _measure(self, step, label: str,
+                 extra_worker_counts: tuple[int, ...]) -> RunResult:
+        config = self.config
+        for _ in range(config.warmup_ops):
+            step()
+        # Warm-up traffic does not count toward the measurement (§6.1:
+        # "we warm up the system until the buffer pool is full").
+        self.hierarchy.reset_accounting()
+        self.bm.reset_stats()
+
+        sample_every = max(1, config.inclusivity_sample_every)
+        for index in range(config.measure_ops):
+            step()
+            if (index + 1) % sample_every == 0:
+                self.bm.sample_inclusivity()
+        if self.bm.inclusivity.num_samples == 0:
+            self.bm.sample_inclusivity()
+
+        operations = config.measure_ops
+        makespan = self.hierarchy.cost.makespan_ns(config.workers)
+        throughput = self.hierarchy.throughput(operations, config.workers)
+        by_workers = {config.workers: throughput}
+        for workers in extra_worker_counts:
+            by_workers[workers] = self.hierarchy.throughput(operations, workers)
+        return RunResult(
+            label=label,
+            operations=operations,
+            throughput=throughput,
+            workers=config.workers,
+            stats=self.bm.stats.snapshot(),
+            inclusivity=self.bm.inclusivity.mean_ratio(),
+            nvm_write_gb=self.bm.nvm_write_volume_gb(),
+            makespan_ns=makespan,
+            throughput_by_workers=by_workers,
+        )

@@ -1,0 +1,146 @@
+"""Experiment result containers and paper-style text rendering.
+
+Every experiment module produces an :class:`ExperimentResult` holding
+named series (x → y maps) plus free-form notes.  The renderer prints
+rows in the same orientation as the paper's tables/figures so results
+can be eyeballed against the original, and results can be dumped to
+JSON for archival.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+
+@dataclass
+class Series:
+    """One line of a figure: label plus (x, y) points."""
+
+    label: str
+    points: list[tuple[Any, float]] = field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> list[Any]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+    def y_at(self, x: Any) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x!r}")
+
+    @property
+    def peak_x(self) -> Any:
+        if not self.points:
+            raise ValueError("empty series")
+        return max(self.points, key=lambda p: p[1])[0]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one table/figure reproduction produced."""
+
+    experiment_id: str
+    title: str
+    series: dict[str, Series] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def new_series(self, label: str) -> Series:
+        series = Series(label)
+        self.series[label] = series
+        return series
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------
+    def render(self, value_format: str = "{:>12.1f}") -> str:
+        """Paper-style text table: one row per series, one column per x."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.metadata:
+            meta = ", ".join(f"{k}={v}" for k, v in self.metadata.items())
+            lines.append(f"   [{meta}]")
+        all_xs: list[Any] = []
+        for series in self.series.values():
+            for x in series.xs:
+                if x not in all_xs:
+                    all_xs.append(x)
+        if all_xs:
+            label_width = max((len(s) for s in self.series), default=10) + 2
+            header = " " * label_width + "".join(f"{str(x):>12}" for x in all_xs)
+            lines.append(header)
+            for label, series in self.series.items():
+                row = f"{label:<{label_width}}"
+                lookup = dict(series.points)
+                for x in all_xs:
+                    if x in lookup:
+                        row += value_format.format(lookup[x])
+                    else:
+                        row += " " * 12
+                lines.append(row)
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def ascii_chart(self, label: str, width: int = 60, height: int = 12) -> str:
+        """A terminal line chart of one series (for example scripts)."""
+        series = self.series[label]
+        ys = series.ys
+        if not ys:
+            return f"{label}: (empty)"
+        lo, hi = min(ys), max(ys)
+        span = hi - lo or 1.0
+        # Resample the series onto the chart width.
+        columns = []
+        for x_pos in range(width):
+            index = min(len(ys) - 1, int(x_pos * len(ys) / width))
+            columns.append(int((ys[index] - lo) / span * (height - 1)))
+        lines = [f"{label}  [{lo:.3g} .. {hi:.3g}]"]
+        for row in range(height - 1, -1, -1):
+            lines.append("".join("█" if col >= row else " " for col in columns))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "series": {
+                label: [[x, y] for x, y in series.points]
+                for label, series in self.series.items()
+            },
+            "notes": list(self.notes),
+            "metadata": dict(self.metadata),
+        }
+
+    def save_json(self, directory: str | Path) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment_id}.json"
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, default=str)
+        return path
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "ExperimentResult":
+        with open(path) as fh:
+            raw = json.load(fh)
+        result = cls(raw["experiment_id"], raw["title"])
+        for label, points in raw["series"].items():
+            series = result.new_series(label)
+            for x, y in points:
+                series.add(x, y)
+        result.notes = list(raw.get("notes", []))
+        result.metadata = dict(raw.get("metadata", {}))
+        return result

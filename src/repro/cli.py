@@ -1,0 +1,67 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments fig6 fig7          # run two experiments
+    repro-experiments --all --full       # everything, full effort
+    repro-experiments fig14 --out results/
+
+Each experiment prints a paper-style text table and (with ``--out``)
+writes a JSON result file for archival/plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench.experiments import REGISTRY
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the Spitfire (SIGMOD '21) evaluation.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig6 table2)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment in paper order")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids")
+    parser.add_argument("--full", action="store_true",
+                        help="full effort (longer runs, more points)")
+    parser.add_argument("--out", metavar="DIR",
+                        help="directory for JSON result files")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in REGISTRY:
+            print(experiment_id)
+        return 0
+
+    chosen = list(REGISTRY) if args.all else args.experiments
+    if not chosen:
+        parser.error("no experiments selected (use ids, --all, or --list)")
+    unknown = [e for e in chosen if e not in REGISTRY]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(REGISTRY)}"
+        )
+
+    for experiment_id in chosen:
+        started = time.time()
+        result = REGISTRY[experiment_id](quick=not args.full)
+        print(result.render())
+        print(f"   [{experiment_id} took {time.time() - started:.1f}s]\n")
+        if args.out:
+            path = result.save_json(args.out)
+            print(f"   saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

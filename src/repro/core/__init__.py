@@ -1,0 +1,64 @@
+"""Spitfire's core: migration policies, descriptors, and the buffer manager."""
+
+from .admission import AdmissionQueue, recommended_queue_size
+from .analysis import (
+    accesses_for_confidence,
+    expected_accesses_to_promotion,
+    expected_dram_fraction,
+    promotion_half_life,
+    promotion_probability,
+)
+from .buffer_manager import (
+    AccessResult,
+    BufferFullError,
+    BufferManager,
+    BufferManagerConfig,
+    BufferPool,
+)
+from .descriptors import SharedPageDescriptor, TierPageDescriptor
+from .hymem import make_hymem
+from .mapping_table import MappingTable
+from .policy import (
+    DRAM_SSD_POLICY,
+    HYMEM_POLICY,
+    NVM_SSD_POLICY,
+    POLICY_PRESETS,
+    SPITFIRE_EAGER,
+    SPITFIRE_LAZY,
+    MigrationPolicy,
+    NvmAdmission,
+)
+from .ssd_store import SsdStore
+from .stats import BufferStats, InclusivitySample, InclusivityTracker, inclusivity_ratio
+
+__all__ = [
+    "AccessResult",
+    "AdmissionQueue",
+    "accesses_for_confidence",
+    "expected_accesses_to_promotion",
+    "expected_dram_fraction",
+    "promotion_half_life",
+    "promotion_probability",
+    "BufferFullError",
+    "BufferManager",
+    "BufferManagerConfig",
+    "BufferPool",
+    "BufferStats",
+    "DRAM_SSD_POLICY",
+    "HYMEM_POLICY",
+    "InclusivitySample",
+    "InclusivityTracker",
+    "MappingTable",
+    "MigrationPolicy",
+    "NVM_SSD_POLICY",
+    "NvmAdmission",
+    "POLICY_PRESETS",
+    "SPITFIRE_EAGER",
+    "SPITFIRE_LAZY",
+    "SharedPageDescriptor",
+    "SsdStore",
+    "TierPageDescriptor",
+    "inclusivity_ratio",
+    "make_hymem",
+    "recommended_queue_size",
+]

@@ -1,0 +1,80 @@
+"""Theoretical analysis of the probabilistic migration policy (§3.5).
+
+The paper's steady-state argument: for a page P not in DRAM that
+receives N read requests, the probability that P has been promoted to
+DRAM is approximately ``1 - (1 - D_r)^N`` (treating accesses as
+independent Bernoulli trials).  As N grows this converges to one for
+any non-zero D_r — hot pages always end up in DRAM; how *fast* they do
+is what distinguishes lazy from eager policies.
+
+These closed forms let users reason about a policy before running it:
+expected accesses until promotion, the promotion half-life, and the
+expected fraction of a Zipfian working set resident in DRAM after a
+given number of operations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .policy import MigrationPolicy
+
+
+def promotion_probability(d_r: float, accesses: int) -> float:
+    """P(page promoted to DRAM) after ``accesses`` reads (§3.5).
+
+    ``1 - (1 - D_r)^N`` for a page resident in NVM.
+    """
+    if not 0.0 <= d_r <= 1.0:
+        raise ValueError("d_r must be a probability")
+    if accesses < 0:
+        raise ValueError("accesses must be non-negative")
+    if d_r == 0.0:
+        return 0.0
+    return 1.0 - (1.0 - d_r) ** accesses
+
+
+def expected_accesses_to_promotion(d_r: float) -> float:
+    """Mean number of reads before promotion (geometric distribution)."""
+    if d_r <= 0.0:
+        return math.inf
+    return 1.0 / d_r
+
+
+def promotion_half_life(d_r: float) -> float:
+    """Accesses until a page has a 50% chance of having been promoted."""
+    if d_r <= 0.0:
+        return math.inf
+    if d_r >= 1.0:
+        return 1.0
+    return math.log(0.5) / math.log(1.0 - d_r)
+
+
+def expected_dram_fraction(policy: MigrationPolicy, access_counts: list[int]) -> float:
+    """Expected fraction of pages promoted, given per-page access counts.
+
+    ``access_counts[i]`` is the number of reads page ``i`` received; the
+    result averages the §3.5 promotion probabilities — the steady-state
+    DRAM occupancy the lazy policy converges to (before evictions).
+    """
+    if not access_counts:
+        return 0.0
+    return sum(
+        promotion_probability(policy.d_r, count) for count in access_counts
+    ) / len(access_counts)
+
+
+def accesses_for_confidence(d_r: float, confidence: float = 0.99) -> float:
+    """Reads needed before promotion probability reaches ``confidence``.
+
+    Useful for sizing warm-up phases: with D_r = 0.01 a page needs ~459
+    accesses for 99% promotion confidence — why the paper measures each
+    policy over millions of requests.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if d_r <= 0.0:
+        return math.inf
+    if d_r >= 1.0:
+        return 1.0
+    return math.log(1.0 - confidence) / math.log(1.0 - d_r)

@@ -1,0 +1,1102 @@
+"""The Spitfire multi-tier buffer manager (§5 of the paper).
+
+One :class:`BufferManager` manages up to two buffers (DRAM and/or NVM)
+on top of an SSD-resident database, with a unified mapping table,
+CLOCK replacement per buffer, and the probabilistic data migration
+policy of §3.  Setting the policy and configuration appropriately also
+yields the HyMem baseline (eager DRAM, admission-queue NVM, cache-line-
+grained loading, mini pages) — see :mod:`repro.core.hymem`.
+
+Costing: every device transfer is charged to the hierarchy's shared
+:class:`~repro.hardware.simclock.CostAccumulator`; every bookkeeping
+action charges CPU time.  The benchmark harness turns the accumulated
+demands into simulated throughput.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from ..hardware.cost_model import StorageHierarchy
+from ..hardware.device import Device
+from ..hardware.memory_mode import MemoryModeDevice
+from ..hardware.specs import CACHE_LINE_SIZE, Tier
+from ..pages.cacheline_page import CacheLinePage
+from ..pages.granularity import OPTANE_LOADING_UNIT, LoadingUnit
+from ..pages.mini_page import MINI_PAGE_BYTES, MINI_PAGE_SLOTS, MiniPage, MiniPageOverflow
+from ..pages.page import Page, PageId
+from ..replacement import make_replacer
+from .admission import AdmissionQueue, recommended_queue_size
+from .descriptors import SharedPageDescriptor, TierPageDescriptor
+from .mapping_table import MappingTable
+from .policy import MigrationPolicy, NvmAdmission
+from .ssd_store import SsdStore
+from .stats import BufferStats, InclusivityTracker
+
+
+class BufferFullError(RuntimeError):
+    """All frames of a buffer are pinned; no victim can be found."""
+
+
+@dataclass(frozen=True)
+class BufferManagerConfig:
+    """Static configuration of one buffer manager instance."""
+
+    #: Replacement policy name ("clock", "lru", "fifo").
+    replacement: str = "clock"
+    #: Enable HyMem's cache-line-grained loading on the NVM→DRAM path.
+    fine_grained: bool = False
+    #: Granularity of fine-grained loads (Fig. 11 sweeps this).
+    loading_unit: LoadingUnit = OPTANE_LOADING_UNIT
+    #: Enable HyMem's mini-page layout for fine-grained DRAM pages.
+    mini_pages: bool = False
+    #: Admission-queue capacity; None derives §6.5's recommendation
+    #: (half the NVM buffer's page count).
+    admission_queue_size: int | None = None
+    #: RNG seed for the policy's Bernoulli draws.
+    seed: int = 42
+    #: Shard count of the mapping table.
+    mapping_shards: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mini_pages and not self.fine_grained:
+            raise ValueError("mini_pages requires fine_grained loading")
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one buffer-manager read or write."""
+
+    page_id: PageId
+    served_tier: Tier
+    #: True when the page was already buffered (no SSD fetch).
+    hit: bool
+    #: True when the access was served on NVM without a DRAM migration.
+    bypassed_dram: bool = False
+
+
+def _device_read(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
+                 sequential: bool = False) -> None:
+    """Read dispatch that lets memory-mode devices see page identity."""
+    if isinstance(device, MemoryModeDevice):
+        device.read_page(page_id, nbytes, sequential)
+    else:
+        device.read(nbytes, sequential)
+
+
+def _device_write(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
+                  sequential: bool = False) -> None:
+    if isinstance(device, MemoryModeDevice):
+        device.write_page(page_id, nbytes, sequential)
+    else:
+        device.write(nbytes, sequential)
+
+
+class BufferPool:
+    """One tier's frame pool: frames, occupancy accounting, replacer.
+
+    Capacity is tracked in bytes so that mini pages (which occupy ~1 KB
+    instead of 16 KB) genuinely increase how many pages fit — the whole
+    point of the mini-page optimization.
+    """
+
+    def __init__(self, tier: Tier, capacity_bytes: int, replacement: str,
+                 min_entry_bytes: int) -> None:
+        if capacity_bytes < min_entry_bytes:
+            raise ValueError(
+                f"{tier.name} pool of {capacity_bytes} B cannot hold even one "
+                f"entry of {min_entry_bytes} B"
+            )
+        self.tier = tier
+        self.capacity_bytes = capacity_bytes
+        self.max_entries = capacity_bytes // min_entry_bytes
+        self.replacer = make_replacer(replacement, self.max_entries)
+        self._frames: list[TierPageDescriptor | None] = [None] * self.max_entries
+        self._free = list(range(self.max_entries - 1, -1, -1))
+        self._by_page: dict[PageId, TierPageDescriptor] = {}
+        self._entry_bytes: dict[int, int] = {}
+        self.used_bytes = 0
+        self.lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def get(self, page_id: PageId) -> TierPageDescriptor | None:
+        with self.lock:
+            descriptor = self._by_page.get(page_id)
+        if descriptor is not None:
+            self.replacer.record_access(descriptor.frame_index)
+        return descriptor
+
+    def peek(self, page_id: PageId) -> TierPageDescriptor | None:
+        """Lookup without touching the replacement state."""
+        with self.lock:
+            return self._by_page.get(page_id)
+
+    def needs_space(self, incoming_bytes: int) -> bool:
+        with self.lock:
+            if not self._free:
+                return True
+            return self.used_bytes + incoming_bytes > self.capacity_bytes
+
+    def insert(self, content, entry_bytes: int) -> TierPageDescriptor:
+        """Install content into a free frame (caller ensured space)."""
+        with self.lock:
+            if content.page_id in self._by_page:
+                raise RuntimeError(
+                    f"page {content.page_id} already resident on {self.tier.name}"
+                )
+            if not self._free:
+                raise BufferFullError(f"{self.tier.name} pool has no free frame")
+            frame = self._free.pop()
+            descriptor = TierPageDescriptor(self.tier, frame, content)
+            self._frames[frame] = descriptor
+            self._by_page[content.page_id] = descriptor
+            self._entry_bytes[frame] = entry_bytes
+            self.used_bytes += entry_bytes
+        self.replacer.insert(frame)
+        return descriptor
+
+    def remove(self, descriptor: TierPageDescriptor) -> None:
+        with self.lock:
+            frame = descriptor.frame_index
+            if self._frames[frame] is not descriptor:
+                raise RuntimeError(
+                    f"descriptor for page {descriptor.page_id} is stale"
+                )
+            self._frames[frame] = None
+            del self._by_page[descriptor.page_id]
+            self.used_bytes -= self._entry_bytes.pop(frame)
+            self._free.append(frame)
+        self.replacer.remove(frame)
+
+    def resize_entry(self, descriptor: TierPageDescriptor, new_bytes: int) -> None:
+        """Adjust occupancy when a mini page is promoted to a full page."""
+        with self.lock:
+            frame = descriptor.frame_index
+            self.used_bytes += new_bytes - self._entry_bytes[frame]
+            self._entry_bytes[frame] = new_bytes
+
+    def pick_victim(self) -> TierPageDescriptor | None:
+        """Atomically claim an unpinned victim.
+
+        The claim (taken under the pool lock) guarantees two concurrent
+        evictors never work on the same frame; the caller must either
+        remove the descriptor or :meth:`unclaim` it.
+        """
+        with self.lock:
+            tracked = len(self.replacer)
+        for _ in range(2 * tracked + 2):
+            frame = self.replacer.victim()
+            if frame is None:
+                return None
+            with self.lock:
+                descriptor = self._frames[frame]
+                if descriptor is not None and not descriptor.pinned \
+                        and not descriptor.claimed:
+                    descriptor.claimed = True
+                    return descriptor
+            if descriptor is None:
+                self.replacer.remove(frame)
+            else:
+                self.replacer.record_access(frame)
+        return None
+
+    def unclaim(self, descriptor: TierPageDescriptor) -> None:
+        """Release an eviction claim without evicting."""
+        with self.lock:
+            descriptor.claimed = False
+
+    def resident_page_ids(self) -> set[PageId]:
+        with self.lock:
+            return set(self._by_page)
+
+    def descriptors(self) -> list[TierPageDescriptor]:
+        with self.lock:
+            return list(self._by_page.values())
+
+    def __len__(self) -> int:
+        with self.lock:
+            return len(self._by_page)
+
+
+class BufferManager:
+    """Three-tier buffer manager with probabilistic data migration.
+
+    Parameters
+    ----------
+    hierarchy:
+        Devices and cost accounting for this configuration.  Whichever of
+        DRAM/NVM tiers the hierarchy contains get a buffer pool; the SSD
+        tier (required) holds the database.
+    policy:
+        The migration policy ``<D_r, D_w, N_r, N_w>``.  May be swapped at
+        runtime via :meth:`set_policy` (the adaptive tuner does this).
+    config:
+        Layout and replacement options.
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        policy: MigrationPolicy,
+        config: BufferManagerConfig | None = None,
+    ) -> None:
+        if not hierarchy.has_tier(Tier.SSD):
+            raise ValueError("the hierarchy must include an SSD tier for the database")
+        self.hierarchy = hierarchy
+        self.config = config or BufferManagerConfig()
+        self._policy = policy
+        self._policy_lock = threading.Lock()
+        self.rng = random.Random(self.config.seed)
+        self.table = MappingTable(self.config.mapping_shards)
+        self.store = SsdStore(hierarchy.device(Tier.SSD), hierarchy.page_size)
+        self.stats = BufferStats()
+        self.inclusivity = InclusivityTracker()
+        self.pools: dict[Tier, BufferPool] = {}
+        min_entry = MINI_PAGE_BYTES if self.config.mini_pages else hierarchy.page_size
+        for tier in (Tier.DRAM, Tier.NVM):
+            if hierarchy.has_tier(tier):
+                capacity = hierarchy.device(tier).capacity_bytes or 0
+                entry = min_entry if tier is Tier.DRAM else hierarchy.page_size
+                self.pools[tier] = BufferPool(
+                    tier, capacity, self.config.replacement, entry
+                )
+        # Hot-path shortcuts (avoid enum-keyed dict lookups per access).
+        self._dram_pool = self.pools.get(Tier.DRAM)
+        self._nvm_pool = self.pools.get(Tier.NVM)
+        self.has_dram = self._dram_pool is not None
+        self.has_nvm = self._nvm_pool is not None
+        if self.config.fine_grained and not (self.has_dram and self.has_nvm):
+            raise ValueError(
+                "fine-grained loading needs both DRAM and NVM tiers "
+                "(it applies to the NVM→DRAM migration path)"
+            )
+        self.admission_queue: AdmissionQueue | None = None
+        if (
+            policy.nvm_admission is NvmAdmission.ADMISSION_QUEUE
+            and Tier.NVM in self.pools
+        ):
+            size = self.config.admission_queue_size
+            if size is None:
+                size = recommended_queue_size(self.pools[Tier.NVM].max_entries)
+            self.admission_queue = AdmissionQueue(size)
+
+    # ------------------------------------------------------------------
+    # Policy management
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> MigrationPolicy:
+        with self._policy_lock:
+            return self._policy
+
+    def set_policy(self, policy: MigrationPolicy) -> None:
+        """Swap the migration policy at runtime (used by the tuner, §4)."""
+        with self._policy_lock:
+            self._policy = policy
+
+    def _device(self, tier: Tier) -> Device | MemoryModeDevice:
+        return self.hierarchy.device(tier)
+
+    def _cpu(self, service_ns: float) -> None:
+        self.hierarchy.charge_cpu(service_ns)
+
+    # ------------------------------------------------------------------
+    # Page lifecycle
+    # ------------------------------------------------------------------
+    def allocate_page(self, page_id: PageId | None = None) -> PageId:
+        """Create a new page; it initially resides on SSD (§1)."""
+        return self.store.allocate(page_id).page_id
+
+    def page_exists(self, page_id: PageId) -> bool:
+        return self.store.exists(page_id)
+
+    def prime_page(self, tier: Tier, page_id: PageId) -> bool:
+        """Warm-start helper: install a clean copy of a page on a tier.
+
+        Used by the harness to start measurements near the steady state
+        the paper reaches with long warm-ups ("we warm up the system
+        until the buffer pool is full", §6.2).  Returns False when the
+        pool is full or the page is already resident.  No migration
+        decisions run, no statistics are recorded, and no device cost is
+        charged — priming models state that long-past warm-up traffic
+        would have created.
+        """
+        pool = self.pools.get(tier)
+        if pool is None or pool.needs_space(self.hierarchy.page_size):
+            return False
+        shared = self.table.get_or_create(page_id)
+        if shared.copy_on(tier) is not None:
+            return False
+        durable = self.store.peek(page_id)
+        if durable is None:
+            return False
+        with shared.latched(tier):
+            descriptor = pool.insert(durable.clone(), self.hierarchy.page_size)
+            shared.attach(descriptor)
+        return True
+
+    # ------------------------------------------------------------------
+    # Public access paths
+    # ------------------------------------------------------------------
+    def read(self, page_id: PageId, offset: int = 0,
+             nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
+        """Serve a read of ``nbytes`` at ``offset`` within the page."""
+        costs = self.hierarchy.cpu_costs
+        self._cpu(costs.lookup_ns)
+        self.stats.reads += 1
+        shared = self.table.get_or_create(page_id)
+        policy = self.policy
+
+        dram_desc = self._pool_get(Tier.DRAM, page_id)
+        if dram_desc is not None:
+            self.stats.dram_hits += 1
+            self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write=False)
+            return AccessResult(page_id, Tier.DRAM, hit=True)
+
+        nvm_desc = self._pool_get(Tier.NVM, page_id)
+        if nvm_desc is not None:
+            self.stats.nvm_hits += 1
+            if self.has_dram and policy.promote_to_dram_on_read(self.rng):
+                dram_desc = self._migrate_nvm_to_dram(shared, nvm_desc, offset, nbytes)
+                self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write=False)
+                return AccessResult(page_id, Tier.DRAM, hit=True)
+            # Serve the read directly on NVM (§3.1): the CPU operates on
+            # the NVM-resident data at the media granularity.
+            _device_read(self._device(Tier.NVM), page_id, nbytes)
+            self.stats.nvm_direct_reads += 1
+            return AccessResult(page_id, Tier.NVM, hit=True, bypassed_dram=True)
+
+        tier = self._fetch_from_ssd(shared, page_id, offset, nbytes, is_write=False)
+        return AccessResult(page_id, tier, hit=False, bypassed_dram=tier is Tier.NVM)
+
+    def write(self, page_id: PageId, offset: int = 0,
+              nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
+        """Serve an in-place update of ``nbytes`` at ``offset``."""
+        costs = self.hierarchy.cpu_costs
+        self._cpu(costs.lookup_ns)
+        self.stats.writes += 1
+        shared = self.table.get_or_create(page_id)
+        policy = self.policy
+
+        dram_desc = self._pool_get(Tier.DRAM, page_id)
+        if dram_desc is not None:
+            self.stats.dram_hits += 1
+            self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write=True)
+            return AccessResult(page_id, Tier.DRAM, hit=True)
+
+        nvm_desc = self._pool_get(Tier.NVM, page_id)
+        if nvm_desc is not None:
+            self.stats.nvm_hits += 1
+            if self.has_dram and policy.route_write_through_dram(self.rng):
+                dram_desc = self._migrate_nvm_to_dram(shared, nvm_desc, offset, nbytes)
+                self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write=True)
+                return AccessResult(page_id, Tier.DRAM, hit=True)
+            # Update the NVM copy in place and persist it (§3.2).
+            device = self._device(Tier.NVM)
+            _device_write(device, page_id, nbytes)
+            device.persist_barrier()
+            nvm_desc.mark_dirty()
+            self.stats.nvm_direct_writes += 1
+            return AccessResult(page_id, Tier.NVM, hit=True, bypassed_dram=True)
+
+        tier = self._fetch_from_ssd(shared, page_id, offset, nbytes, is_write=True)
+        return AccessResult(page_id, tier, hit=False, bypassed_dram=tier is Tier.NVM)
+
+    # ------------------------------------------------------------------
+    # Engine-facing pinned access
+    # ------------------------------------------------------------------
+    def fetch_page(self, page_id: PageId, for_write: bool = False) -> TierPageDescriptor:
+        """Pin and return the buffered copy of a page for direct access.
+
+        The engine layer (index, MVTO, recovery) uses this to read and
+        mutate page *content*.  Requires ``fine_grained=False`` so the
+        content is always a full :class:`~repro.pages.page.Page`.  Call
+        :meth:`release_page` when done.
+        """
+        if self.config.fine_grained:
+            raise RuntimeError(
+                "fetch_page requires full-page layouts (fine_grained=False)"
+            )
+        result = self.write(page_id) if for_write else self.read(page_id)
+        descriptor = self._pool_get(result.served_tier, page_id)
+        if descriptor is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"page {page_id} vanished after access")
+        descriptor.pin()
+        if for_write:
+            descriptor.mark_dirty()
+        return descriptor
+
+    def release_page(self, descriptor: TierPageDescriptor) -> None:
+        descriptor.unpin()
+        shared = self.table.get(descriptor.page_id)
+        if shared is not None:
+            shared.notify_unpin()
+
+    # ------------------------------------------------------------------
+    # Flushing / checkpointing support
+    # ------------------------------------------------------------------
+    def flush_dirty_dram(self, limit: int | None = None) -> int:
+        """Write dirty DRAM pages to SSD (the recovery-protocol flush).
+
+        Dirty NVM pages are *not* flushed: NVM is persistent, so they are
+        already durable (§5.2 Recovery).  Returns the number flushed.
+        """
+        if not self.has_dram:
+            return 0
+        flushed = 0
+        for descriptor in self.pools[Tier.DRAM].descriptors():
+            if limit is not None and flushed >= limit:
+                break
+            if not descriptor.dirty or descriptor.pinned:
+                continue
+            shared = self.table.get(descriptor.page_id)
+            if shared is None:
+                continue
+            with shared.latched(Tier.DRAM, Tier.NVM, Tier.SSD):
+                if not descriptor.dirty:
+                    continue
+                content = descriptor.content
+                nvm_desc = shared.copy_on(Tier.NVM)
+                if isinstance(content, (CacheLinePage, MiniPage)):
+                    # Partial layouts persist their dirty lines into the
+                    # NVM backing page, which is durable.
+                    self._writeback_lines_to_nvm(shared, descriptor)
+                elif nvm_desc is not None and isinstance(nvm_desc.content, Page):
+                    # A live NVM copy makes the page durable with one NVM
+                    # page write — far cheaper than the SSD path.
+                    _device_read(self._device(Tier.DRAM), descriptor.page_id,
+                                 self.hierarchy.page_size, sequential=True)
+                    nvm_desc.content.copy_from(content)
+                    nvm_device = self._device(Tier.NVM)
+                    _device_write(nvm_device, descriptor.page_id,
+                                  self.hierarchy.page_size)
+                    nvm_device.persist_barrier()
+                    nvm_desc.mark_dirty()
+                elif self._flush_admits_to_nvm(descriptor.page_id):
+                    # The flush is a downward write migration, so N_w (or
+                    # HyMem's admission queue) chooses its destination —
+                    # installing the page in NVM persists it without the
+                    # SSD write (§3.4's path ⑤ applied to checkpoints).
+                    _device_read(self._device(Tier.DRAM), descriptor.page_id,
+                                 self.hierarchy.page_size, sequential=True)
+                    nvm_desc = self._insert_with_space(
+                        Tier.NVM, content.clone(), self.hierarchy.page_size,
+                        protect=descriptor.page_id,
+                    )
+                    shared.attach(nvm_desc)
+                    nvm_desc.mark_dirty()
+                    nvm_device = self._device(Tier.NVM)
+                    _device_write(nvm_device, descriptor.page_id,
+                                  self.hierarchy.page_size)
+                    nvm_device.persist_barrier()
+                    self.stats.dram_to_nvm += 1
+                else:
+                    _device_read(self._device(Tier.DRAM), descriptor.page_id,
+                                 self.hierarchy.page_size, sequential=True)
+                    self.store.write_page(content, sequential=True)
+                descriptor.clear_dirty()
+                flushed += 1
+                self.stats.dirty_page_flushes += 1
+        return flushed
+
+    def _flush_admits_to_nvm(self, page_id: PageId) -> bool:
+        """Should a checkpoint flush land in NVM rather than on SSD?"""
+        if not self.has_nvm:
+            return False
+        if self.admission_queue is not None:
+            return self.admission_queue.should_admit(page_id)
+        return self.policy.admit_to_nvm_on_eviction(self.rng)
+
+    def flush_all(self) -> int:
+        """Flush every dirty buffered page down to SSD (shutdown path)."""
+        flushed = self.flush_dirty_dram()
+        if self.has_nvm:
+            for descriptor in self.pools[Tier.NVM].descriptors():
+                if not descriptor.dirty:
+                    continue
+                shared = self.table.get(descriptor.page_id)
+                if shared is None:
+                    continue
+                with shared.latched(Tier.NVM, Tier.SSD):
+                    if descriptor.dirty and isinstance(descriptor.content, Page):
+                        self._device(Tier.NVM).read(self.hierarchy.page_size)
+                        self.store.write_page(descriptor.content, sequential=True)
+                        descriptor.clear_dirty()
+                        flushed += 1
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def resident_pages(self, tier: Tier) -> set[PageId]:
+        pool = self.pools.get(tier)
+        return pool.resident_page_ids() if pool else set()
+
+    def sample_inclusivity(self) -> float:
+        """Record one inclusivity observation (§3.3's ratio)."""
+        sample = self.inclusivity.sample(
+            self.resident_pages(Tier.DRAM), self.resident_pages(Tier.NVM)
+        )
+        return sample.ratio
+
+    def nvm_write_volume_gb(self) -> float:
+        """Cumulative NVM media write volume (Figs. 8 and 13)."""
+        if not self.hierarchy.has_tier(Tier.NVM):
+            return 0.0
+        device = self.hierarchy.device(Tier.NVM)
+        if isinstance(device, MemoryModeDevice):
+            return device.snapshot_counters().media_write_bytes / 1e9
+        return device.write_volume_gb()
+
+    def reset_stats(self) -> None:
+        self.stats = BufferStats()
+        self.inclusivity.reset()
+
+    # ------------------------------------------------------------------
+    # Crash / recovery hooks (§5.2 Recovery)
+    # ------------------------------------------------------------------
+    def simulate_crash(self) -> None:
+        """Drop all volatile state: the DRAM pool and the mapping table.
+
+        The NVM pool's frames survive (NVM is persistent); the mapping
+        table is DRAM-resident and must be reconstructed by recovery.
+        """
+        if self.has_dram:
+            pool = self.pools[Tier.DRAM]
+            for descriptor in pool.descriptors():
+                pool.remove(descriptor)
+        self.table.clear()
+
+    def recover_mapping_table(self) -> int:
+        """Rebuild the mapping table by scanning the NVM buffer.
+
+        Mirrors the first recovery step in §5.2: collect the page ids of
+        NVM-resident frames and reconstruct their descriptors.  Returns
+        the number of recovered entries.
+        """
+        recovered = 0
+        if self.has_nvm:
+            for descriptor in self.pools[Tier.NVM].descriptors():
+                shared = self.table.get_or_create(descriptor.page_id)
+                if shared.copy_on(Tier.NVM) is None:
+                    shared.attach(descriptor)
+                    recovered += 1
+                # Scanning the NVM buffer costs a header read per frame.
+                self._device(Tier.NVM).read(CACHE_LINE_SIZE, sequential=True)
+        return recovered
+
+    # ==================================================================
+    # Internal machinery
+    # ==================================================================
+    def _pool_get(self, tier: Tier, page_id: PageId) -> TierPageDescriptor | None:
+        pool = self._dram_pool if tier is Tier.DRAM else (
+            self._nvm_pool if tier is Tier.NVM else None
+        )
+        return pool.get(page_id) if pool else None
+
+    # ------------------------------------------------------------------
+    # Serving accesses on DRAM copies (handles fine-grained layouts)
+    # ------------------------------------------------------------------
+    def _serve_dram_access(self, shared: SharedPageDescriptor,
+                           descriptor: TierPageDescriptor, offset: int,
+                           nbytes: int, is_write: bool) -> None:
+        costs = self.hierarchy.cpu_costs
+        content = descriptor.content
+        if isinstance(content, MiniPage):
+            self._cpu(costs.minipage_slot_ns)
+            lines = self._lines_for(offset, nbytes)
+            try:
+                missing = content.ensure_lines(lines)
+            except MiniPageOverflow:
+                descriptor = self._promote_mini_page(shared, descriptor)
+                content = descriptor.content
+                self._serve_cacheline_access(content, offset, nbytes, is_write)
+                descriptor.dirty = descriptor.dirty or is_write
+                self._finish_dram_access(descriptor, offset, nbytes, is_write)
+                return
+            if missing:
+                self._charge_fine_grained_load(missing * CACHE_LINE_SIZE)
+            if is_write:
+                for line in lines:
+                    content.mark_dirty(line)
+                descriptor.mark_dirty()
+        elif isinstance(content, CacheLinePage):
+            self._serve_cacheline_access(content, offset, nbytes, is_write)
+            if is_write:
+                descriptor.mark_dirty()
+        else:
+            if is_write:
+                descriptor.mark_dirty()
+        self._finish_dram_access(descriptor, offset, nbytes, is_write)
+
+    def _finish_dram_access(self, descriptor: TierPageDescriptor, offset: int,
+                            nbytes: int, is_write: bool) -> None:
+        device = self._device(Tier.DRAM)
+        if is_write:
+            _device_write(device, descriptor.page_id, nbytes)
+        else:
+            _device_read(device, descriptor.page_id, nbytes)
+
+    def _serve_cacheline_access(self, content: CacheLinePage, offset: int,
+                                nbytes: int, is_write: bool) -> None:
+        costs = self.hierarchy.cpu_costs
+        self._cpu(costs.cacheline_bookkeeping_ns)
+        first_line = min(offset // CACHE_LINE_SIZE, content.num_lines - 1)
+        nlines = max(1, (offset + nbytes - 1) // CACHE_LINE_SIZE - first_line + 1)
+        # Accesses that would run off the page end (e.g. a tuple read at
+        # a non-zero intra-tuple offset) are clamped to the page.
+        nlines = min(nlines, content.num_lines - first_line)
+        missing = content.missing_lines(first_line, nlines)
+        if missing:
+            unit_lines = self.config.loading_unit.lines_per_unit
+            # Loads round the range out to whole loading units.
+            unit_first = (first_line // unit_lines) * unit_lines
+            unit_last = min(
+                content.num_lines,
+                ((first_line + nlines + unit_lines - 1) // unit_lines) * unit_lines,
+            )
+            newly = content.load_lines(unit_first, unit_last - unit_first)
+            if newly:
+                self._charge_fine_grained_load(newly * CACHE_LINE_SIZE)
+        if is_write:
+            content.mark_dirty(first_line, nlines)
+
+    def _charge_fine_grained_load(self, useful_bytes: int) -> None:
+        """Charge an NVM read for a fine-grained load, with amplification.
+
+        The loading-unit transfers of one load are issued back to back,
+        so the device latency is paid once per load operation while the
+        media amplification (each unit rounded up to the 256 B media
+        block) is paid in full — that asymmetry is exactly what makes
+        64 B loading units lose on Optane (Fig. 11).
+        """
+        unit = self.config.loading_unit
+        media_bytes = unit.media_bytes(useful_bytes)
+        device = self._device(Tier.NVM)
+        units = unit.units_for_bytes(useful_bytes)
+        spec = device.spec
+        transfer = media_bytes / spec.rand_read_bw * 1e9
+        device.cost.charge(device.resource_key, transfer, media_bytes)
+        self._cpu(spec.rand_read_latency_ns)
+        if isinstance(device, Device):
+            device.counters.read_ops += units
+            device.counters.read_bytes += useful_bytes
+            device.counters.media_read_bytes += media_bytes
+        # The loaded lines land in the DRAM copy via a CPU copy.
+        self._device(Tier.DRAM).write(useful_bytes)
+        self._cpu(self.hierarchy.cpu_costs.copy_ns(useful_bytes))
+        self.stats.fine_grained_loads += 1
+
+    def _lines_for(self, offset: int, nbytes: int) -> list[int]:
+        max_line = self.hierarchy.page_size // CACHE_LINE_SIZE - 1
+        first = min(offset // CACHE_LINE_SIZE, max_line)
+        last = min((offset + max(1, nbytes) - 1) // CACHE_LINE_SIZE, max_line)
+        return list(range(first, last + 1))
+
+    # ------------------------------------------------------------------
+    # Fine-grained layout transitions
+    # ------------------------------------------------------------------
+    def _promote_mini_page(self, shared: SharedPageDescriptor,
+                           descriptor: TierPageDescriptor) -> TierPageDescriptor:
+        """Transparently promote an overflowing mini page (§2.1)."""
+        pool = self.pools[Tier.DRAM]
+        mini: MiniPage = descriptor.content  # type: ignore[assignment]
+        promoted = CacheLinePage(mini.nvm_page, self.hierarchy.page_size)
+        resident = mini.resident_lines()
+        for line in resident:
+            promoted.load_lines(line, 1)
+        for line in mini.writeback_lines():
+            promoted.mark_dirty(line, 1)
+        was_dirty = descriptor.dirty
+        # A promotion grows the entry from ~1 KB to a full frame; make room.
+        extra = self.hierarchy.page_size - MINI_PAGE_BYTES
+        self._ensure_space(Tier.DRAM, extra, protect=descriptor.page_id)
+        pool.resize_entry(descriptor, self.hierarchy.page_size)
+        descriptor.content = promoted
+        descriptor.dirty = was_dirty
+        self.stats.mini_page_promotions += 1
+        self._cpu(self.hierarchy.cpu_costs.migration_ns)
+        return descriptor
+
+    def _promote_to_full_residency(self, descriptor: TierPageDescriptor) -> Page:
+        """Materialise a fully resident plain page from a partial layout.
+
+        Needed when the NVM backing page goes away (NVM eviction) or when
+        the partial DRAM copy itself is evicted dirty without an NVM
+        admission: remaining lines are loaded from NVM first.
+        """
+        content = descriptor.content
+        if isinstance(content, MiniPage):
+            missing_bytes = (
+                self.hierarchy.page_size - content.count * CACHE_LINE_SIZE
+            )
+            backing = content.nvm_page
+        elif isinstance(content, CacheLinePage):
+            missing_bytes = self.hierarchy.page_size - content.resident_bytes()
+            backing = content.nvm_page
+        else:
+            return content
+        if missing_bytes > 0:
+            self._charge_fine_grained_load(missing_bytes)
+        full = backing.clone()
+        if descriptor.tier is Tier.DRAM and isinstance(content, MiniPage):
+            self.pools[Tier.DRAM].resize_entry(descriptor, self.hierarchy.page_size)
+        descriptor.content = full
+        return full
+
+    # ------------------------------------------------------------------
+    # SSD miss path
+    # ------------------------------------------------------------------
+    def _fetch_from_ssd(self, shared: SharedPageDescriptor, page_id: PageId,
+                        offset: int, nbytes: int, is_write: bool) -> Tier:
+        self.stats.ssd_fetches += 1
+        policy = self.policy
+        durable = self.store.read_page(page_id)  # charges the SSD read
+
+        admit_nvm = self.has_nvm and policy.admit_to_nvm_on_fetch(self.rng)
+        if admit_nvm:
+            nvm_desc = self._install(Tier.NVM, shared, durable.clone())
+            self.stats.ssd_to_nvm += 1
+            promote = (
+                policy.route_write_through_dram(self.rng)
+                if is_write
+                else policy.promote_to_dram_on_read(self.rng)
+            )
+            if self.has_dram and promote:
+                dram_desc = self._migrate_nvm_to_dram(shared, nvm_desc, offset, nbytes)
+                self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write)
+                return Tier.DRAM
+            device = self._device(Tier.NVM)
+            if is_write:
+                _device_write(device, page_id, nbytes)
+                device.persist_barrier()
+                nvm_desc.mark_dirty()
+                self.stats.nvm_direct_writes += 1
+            else:
+                _device_read(device, page_id, nbytes)
+                self.stats.nvm_direct_reads += 1
+            return Tier.NVM
+
+        if self.has_dram:
+            dram_desc = self._install(Tier.DRAM, shared, durable.clone())
+            self.stats.ssd_to_dram += 1
+            self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write)
+            return Tier.DRAM
+
+        if self.has_nvm:
+            # No DRAM tier: the page has to land in NVM regardless of N_r.
+            nvm_desc = self._install(Tier.NVM, shared, durable.clone())
+            self.stats.ssd_to_nvm += 1
+            device = self._device(Tier.NVM)
+            if is_write:
+                _device_write(device, page_id, nbytes)
+                device.persist_barrier()
+                nvm_desc.mark_dirty()
+            else:
+                _device_read(device, page_id, nbytes)
+            return Tier.NVM
+
+        # Degenerate bufferless configuration: operate straight on SSD.
+        if is_write:
+            self.store.write_page(durable)
+        return Tier.SSD
+
+    def _install(self, tier: Tier, shared: SharedPageDescriptor,
+                 content: Page) -> TierPageDescriptor:
+        """Place a full page copy into a tier's pool, evicting as needed."""
+        with shared.latched(tier):
+            existing = shared.copy_on(tier)
+            if existing is not None:
+                # A concurrent miss on the same page installed it first.
+                return existing
+            descriptor = self._insert_with_space(
+                tier, content, self.hierarchy.page_size,
+                protect=content.page_id,
+            )
+            shared.attach(descriptor)
+        device = self._device(tier)
+        # Page installs land at random frame locations: NVM pays its
+        # random-write bandwidth (6 GB/s on Optane), DRAM does not care.
+        _device_write(device, content.page_id, self.hierarchy.page_size,
+                      sequential=tier is not Tier.NVM)
+        if tier is Tier.NVM:
+            device.persist_barrier()
+        return descriptor
+
+    # ------------------------------------------------------------------
+    # NVM → DRAM migration (§3.1, §5.2)
+    # ------------------------------------------------------------------
+    def _migrate_nvm_to_dram(self, shared: SharedPageDescriptor,
+                             nvm_desc: TierPageDescriptor, offset: int,
+                             nbytes: int) -> TierPageDescriptor:
+        costs = self.hierarchy.cpu_costs
+        existing = self._pool_get(Tier.DRAM, shared.page_id)
+        if existing is not None:
+            return existing
+        with shared.latched(Tier.DRAM, Tier.NVM):
+            # §5.2: wait for readers of the NVM copy so the DRAM copy
+            # cannot miss concurrent modifications.
+            shared.wait_for_unpinned(Tier.NVM)
+            existing = shared.copy_on(Tier.DRAM)
+            if existing is not None:
+                return existing
+            self._cpu(costs.migration_ns)
+            nvm_content = nvm_desc.content
+            if not isinstance(nvm_content, Page):  # pragma: no cover - defensive
+                raise RuntimeError("NVM frames always hold full pages")
+            if self.config.fine_grained:
+                descriptor = self._install_fine_grained(shared, nvm_content,
+                                                        offset, nbytes)
+            else:
+                nvm_device = self._device(Tier.NVM)
+                _device_read(nvm_device, shared.page_id,
+                             self.hierarchy.page_size)
+                self._cpu(costs.copy_ns(self.hierarchy.page_size))
+                descriptor = self._insert_with_space(
+                    Tier.DRAM, nvm_content.clone(), self.hierarchy.page_size,
+                    protect=shared.page_id,
+                )
+                shared.attach(descriptor)
+                _device_write(self._device(Tier.DRAM), shared.page_id,
+                              self.hierarchy.page_size, sequential=True)
+            self.stats.nvm_to_dram += 1
+            return descriptor
+
+    def _install_fine_grained(self, shared: SharedPageDescriptor,
+                              nvm_content: Page, offset: int,
+                              nbytes: int) -> TierPageDescriptor:
+        """Create a cache-line-grained (or mini) DRAM view of an NVM page."""
+        lines = self._lines_for(offset, nbytes)
+        use_mini = self.config.mini_pages and len(lines) <= MINI_PAGE_SLOTS
+        if use_mini:
+            content: CacheLinePage | MiniPage = MiniPage(nvm_content)
+            entry_bytes = MINI_PAGE_BYTES
+            loaded = content.ensure_lines(lines)
+        else:
+            content = CacheLinePage(nvm_content, self.hierarchy.page_size)
+            entry_bytes = self.hierarchy.page_size
+            loaded = 0
+            unit_lines = self.config.loading_unit.lines_per_unit
+            first = (lines[0] // unit_lines) * unit_lines
+            last = min(
+                content.num_lines,
+                ((lines[-1] + unit_lines) // unit_lines) * unit_lines,
+            )
+            loaded = content.load_lines(first, last - first)
+        if loaded:
+            self._charge_fine_grained_load(loaded * CACHE_LINE_SIZE)
+        descriptor = self._insert_with_space(Tier.DRAM, content, entry_bytes,
+                                             protect=shared.page_id)
+        shared.attach(descriptor)
+        return descriptor
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _ensure_space(self, tier: Tier, incoming_bytes: int,
+                      protect: PageId | None = None) -> None:
+        pool = self.pools[tier]
+        guard = 2 * pool.max_entries + 4
+        misses = 0
+        while pool.needs_space(incoming_bytes):
+            guard -= 1
+            if guard < 0:  # pragma: no cover - defensive
+                raise BufferFullError(
+                    f"unable to reclaim {incoming_bytes} B on {tier.name}"
+                )
+            victim = pool.pick_victim()
+            if victim is None:
+                # Every frame is pinned or claimed by a concurrent
+                # evictor; retry briefly before giving up.
+                misses += 1
+                if misses > 8:
+                    raise BufferFullError(
+                        f"all {tier.name} frames are pinned; cannot evict"
+                    )
+                continue
+            misses = 0
+            if protect is not None and victim.page_id == protect:
+                pool.replacer.record_access(victim.frame_index)
+                pool.unclaim(victim)
+                continue
+            if tier is Tier.DRAM:
+                self._evict_from_dram(victim)
+            else:
+                self._evict_from_nvm(victim)
+
+    def _insert_with_space(self, tier: Tier, content, entry_bytes: int,
+                           protect: PageId | None = None) -> TierPageDescriptor:
+        """Reserve space and insert, retrying lost races for free frames."""
+        pool = self.pools[tier]
+        for _ in range(64):
+            self._ensure_space(tier, entry_bytes, protect=protect)
+            try:
+                return pool.insert(content, entry_bytes)
+            except BufferFullError:
+                continue
+        raise BufferFullError(  # pragma: no cover - defensive
+            f"could not secure a {tier.name} frame for page {content.page_id}"
+        )
+
+    def _evict_from_dram(self, descriptor: TierPageDescriptor) -> None:
+        """Apply the DRAM-eviction half of the migration policy (§3.4)."""
+        costs = self.hierarchy.cpu_costs
+        self._cpu(costs.eviction_ns)
+        page_id = descriptor.page_id
+        shared = self.table.get(page_id)
+        if shared is None:  # pragma: no cover - defensive
+            self.pools[Tier.DRAM].remove(descriptor)
+            return
+        self.stats.dram_evictions += 1
+        policy = self.policy
+        content = descriptor.content
+        nvm_backed = isinstance(content, (CacheLinePage, MiniPage))
+
+        if nvm_backed and shared.copy_on(Tier.NVM) is not None:
+            # Partial layout over a live NVM page: write dirty lines back.
+            with shared.latched(Tier.DRAM, Tier.NVM):
+                self._writeback_lines_to_nvm(shared, descriptor)
+                self.pools[Tier.DRAM].remove(descriptor)
+                shared.detach(Tier.DRAM)
+            self._gc_descriptor(shared)
+            return
+
+        if nvm_backed:
+            content = self._promote_to_full_residency(descriptor)
+
+        if descriptor.dirty:
+            admitted = False
+            if self.has_nvm:
+                if self.admission_queue is not None:
+                    admitted = self.admission_queue.should_admit(page_id)
+                else:
+                    admitted = policy.admit_to_nvm_on_eviction(self.rng)
+            if admitted:
+                self._admit_eviction_to_nvm(shared, descriptor, content)
+            else:
+                with shared.latched(Tier.DRAM, Tier.SSD):
+                    self._device(Tier.DRAM).read(self.hierarchy.page_size,
+                                                 sequential=True)
+                    self.store.write_page(content)
+                    self.stats.dram_to_ssd += 1
+                    self.pools[Tier.DRAM].remove(descriptor)
+                    shared.detach(Tier.DRAM)
+        else:
+            # Clean pages need no write-back (the SSD copy is valid,
+            # §3.3), but they are still *considered* for NVM admission:
+            # the NVM buffer acts as a victim cache for DRAM, which is
+            # the only way it fills on read-mostly workloads (Table 2
+            # shows substantial NVM occupancy on YCSB-RO at every N).
+            admitted = False
+            if self.has_nvm and shared.copy_on(Tier.NVM) is None:
+                if self.admission_queue is not None:
+                    admitted = self.admission_queue.should_admit(page_id)
+                else:
+                    admitted = policy.admit_to_nvm_on_eviction(self.rng)
+            if admitted:
+                self._admit_eviction_to_nvm(shared, descriptor, content)
+            else:
+                with shared.latched(Tier.DRAM):
+                    self.stats.clean_drops += 1
+                    self.pools[Tier.DRAM].remove(descriptor)
+                    shared.detach(Tier.DRAM)
+        self._gc_descriptor(shared)
+
+    def _admit_eviction_to_nvm(self, shared: SharedPageDescriptor,
+                               descriptor: TierPageDescriptor,
+                               content: Page) -> None:
+        """Move a DRAM eviction into the NVM buffer (path ⑤ of Fig. 3)."""
+        with shared.latched(Tier.DRAM, Tier.NVM):
+            nvm_desc = shared.copy_on(Tier.NVM)
+            nvm_device = self._device(Tier.NVM)
+            self._device(Tier.DRAM).read(self.hierarchy.page_size, sequential=True)
+            self._cpu(self.hierarchy.cpu_costs.copy_ns(self.hierarchy.page_size))
+            if nvm_desc is not None:
+                nvm_desc.content.copy_from(content)
+                _device_write(nvm_device, content.page_id,
+                              self.hierarchy.page_size)
+                nvm_device.persist_barrier()
+                if descriptor.dirty:
+                    nvm_desc.mark_dirty()
+            else:
+                self.pools[Tier.DRAM].remove(descriptor)
+                shared.detach(Tier.DRAM)
+                nvm_desc = self._insert_with_space(
+                    Tier.NVM, content.clone(), self.hierarchy.page_size,
+                    protect=content.page_id,
+                )
+                shared.attach(nvm_desc)
+                _device_write(nvm_device, content.page_id,
+                              self.hierarchy.page_size)
+                nvm_device.persist_barrier()
+                if descriptor.dirty:
+                    nvm_desc.mark_dirty()
+                self.stats.dram_to_nvm += 1
+                return
+            # NVM copy already existed: just drop the DRAM frame.
+            self.pools[Tier.DRAM].remove(descriptor)
+            shared.detach(Tier.DRAM)
+            self.stats.dram_to_nvm += 1
+
+    def _writeback_lines_to_nvm(self, shared: SharedPageDescriptor,
+                                descriptor: TierPageDescriptor) -> None:
+        """Flush a partial layout's dirty lines into its NVM backing page."""
+        content = descriptor.content
+        if isinstance(content, MiniPage):
+            dirty_lines = len(content.writeback_lines())
+        elif isinstance(content, CacheLinePage):
+            dirty_lines = content.writeback_lines()
+        else:
+            return
+        if dirty_lines:
+            nvm_device = self._device(Tier.NVM)
+            nbytes = dirty_lines * CACHE_LINE_SIZE
+            _device_write(nvm_device, descriptor.page_id, nbytes)
+            nvm_device.persist_barrier()
+            nvm_desc = shared.copy_on(Tier.NVM)
+            if nvm_desc is not None:
+                nvm_desc.mark_dirty()
+        descriptor.clear_dirty()
+
+    def _evict_from_nvm(self, descriptor: TierPageDescriptor) -> None:
+        costs = self.hierarchy.cpu_costs
+        self._cpu(costs.eviction_ns)
+        page_id = descriptor.page_id
+        shared = self.table.get(page_id)
+        if shared is None:  # pragma: no cover - defensive
+            self.pools[Tier.NVM].remove(descriptor)
+            return
+        self.stats.nvm_evictions += 1
+        # A partial DRAM copy backed by this NVM page must become
+        # self-contained before the backing disappears.
+        dram_desc = shared.copy_on(Tier.DRAM)
+        if dram_desc is not None and isinstance(
+            dram_desc.content, (CacheLinePage, MiniPage)
+        ):
+            with shared.latched(Tier.DRAM, Tier.NVM):
+                self._writeback_lines_to_nvm(shared, dram_desc)
+                self._promote_to_full_residency(dram_desc)
+        with shared.latched(Tier.NVM, Tier.SSD):
+            if descriptor.dirty:
+                content = descriptor.content
+                if isinstance(content, Page):
+                    self._device(Tier.NVM).read(self.hierarchy.page_size)
+                    self.store.write_page(content)
+                self.stats.nvm_to_ssd += 1
+            else:
+                self.stats.clean_drops += 1
+            self.pools[Tier.NVM].remove(descriptor)
+            shared.detach(Tier.NVM)
+        self._gc_descriptor(shared)
+
+    def _gc_descriptor(self, shared: SharedPageDescriptor) -> None:
+        """Mapping entries are deliberately *not* garbage collected.
+
+        Removing an entry while another thread still holds the shared
+        descriptor would let ``get_or_create`` mint a second descriptor
+        for the same page, and the per-page latches would no longer
+        serialise migrations.  The table is bounded by the number of
+        pages ever touched (the database size), so retention is cheap;
+        ``simulate_crash``/``recover_mapping_table`` still rebuild it.
+        """

@@ -1,0 +1,227 @@
+"""Page descriptors and the per-tier latching protocol (§5.1, §5.2, Fig. 4).
+
+Every logical page known to the buffer manager has one *shared page
+descriptor* in the mapping table.  The shared descriptor carries three
+latches — one per storage tier — plus pointers to the per-tier page
+descriptors for whichever tiers currently hold a copy.
+
+A migration from tier X to tier Y acquires exactly the X and Y latches,
+so e.g. an NVM→SSD write-back never blocks operations on the DRAM copy.
+The upward NVM→DRAM path additionally waits until all references to the
+NVM copy are dropped before copying (§5.2), which the descriptor exposes
+via :meth:`SharedPageDescriptor.wait_for_unpinned`.
+
+These objects sit on the hottest path of the buffer manager, so they
+avoid dicts and contextlib in favour of slots and a hand-rolled context
+manager.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Union
+
+from ..hardware.specs import Tier
+from ..pages.cacheline_page import CacheLinePage
+from ..pages.mini_page import MiniPage
+from ..pages.page import Page, PageId
+
+#: The kinds of frame content a tier descriptor may hold: a full page, a
+#: cache-line-grained page, or a mini page.
+FrameContent = Union[Page, CacheLinePage, MiniPage]
+
+#: Canonical (top-down) latch acquisition order, preventing deadlock
+#: between concurrent migrations along different paths of the same page.
+_TIER_ORDER = {Tier.DRAM: 0, Tier.NVM: 1, Tier.SSD: 2}
+
+
+class TierPageDescriptor:
+    """Metadata for one tier's copy of a page (Fig. 4's dram_pd/nvm_pd).
+
+    Holds the paper's three fields: user (pin) count, dirty bit, and the
+    pointer to the frame content on that device, plus the frame index the
+    buffer pool assigned.
+    """
+
+    __slots__ = ("tier", "frame_index", "content", "dirty", "pin_count",
+                 "claimed", "_lock")
+
+    def __init__(self, tier: Tier, frame_index: int, content: FrameContent) -> None:
+        self.tier = tier
+        self.frame_index = frame_index
+        self.content = content
+        self.dirty = False
+        self.pin_count = 0
+        #: Set (under the pool lock) by the evictor that picked this
+        #: descriptor as a victim, so two threads never evict one frame.
+        self.claimed = False
+        self._lock = threading.Lock()
+
+    def pin(self) -> None:
+        with self._lock:
+            self.pin_count += 1
+
+    def unpin(self) -> None:
+        with self._lock:
+            if self.pin_count <= 0:
+                raise RuntimeError(
+                    f"unpin of page {self.page_id} on {self.tier.name} "
+                    "with zero pin count"
+                )
+            self.pin_count -= 1
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+    @property
+    def page_id(self) -> PageId:
+        return self.content.page_id
+
+    def mark_dirty(self) -> None:
+        self.dirty = True
+
+    def clear_dirty(self) -> None:
+        self.dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = "dirty" if self.dirty else "clean"
+        return (
+            f"TierPageDescriptor(page={self.page_id}, tier={self.tier.name}, "
+            f"frame={self.frame_index}, {flag}, pins={self.pin_count})"
+        )
+
+
+class _LatchGuard:
+    """Hand-rolled ``with`` guard over an ordered list of latches."""
+
+    __slots__ = ("_latches",)
+
+    def __init__(self, latches: tuple) -> None:
+        self._latches = latches
+
+    def __enter__(self) -> None:
+        for latch in self._latches:
+            latch.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for latch in reversed(self._latches):
+            latch.release()
+
+
+class SharedPageDescriptor:
+    """The mapping-table entry for one logical page.
+
+    Latches are reentrant so that a code path that already holds a tier
+    latch (e.g. an eviction that cascades) does not deadlock on itself.
+    """
+
+    __slots__ = (
+        "page_id",
+        "latch_dram",
+        "latch_nvm",
+        "latch_ssd",
+        "dram_pd",
+        "nvm_pd",
+        "_unpin_cv",
+    )
+
+    def __init__(self, page_id: PageId) -> None:
+        self.page_id = page_id
+        self.latch_dram = threading.RLock()
+        self.latch_nvm = threading.RLock()
+        self.latch_ssd = threading.RLock()
+        self.dram_pd: TierPageDescriptor | None = None
+        self.nvm_pd: TierPageDescriptor | None = None
+        self._unpin_cv = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Latching
+    # ------------------------------------------------------------------
+    def latch(self, tier: Tier):
+        if tier is Tier.DRAM:
+            return self.latch_dram
+        if tier is Tier.NVM:
+            return self.latch_nvm
+        return self.latch_ssd
+
+    def latched(self, *tiers: Tier) -> _LatchGuard:
+        """Acquire the latches for ``tiers`` in canonical (top-down) order."""
+        ordered = sorted(set(tiers), key=_TIER_ORDER.__getitem__)
+        return _LatchGuard(tuple(self.latch(t) for t in ordered))
+
+    # ------------------------------------------------------------------
+    # Tier copies
+    # ------------------------------------------------------------------
+    def copy_on(self, tier: Tier) -> TierPageDescriptor | None:
+        if tier is Tier.DRAM:
+            return self.dram_pd
+        if tier is Tier.NVM:
+            return self.nvm_pd
+        return None
+
+    def attach(self, descriptor: TierPageDescriptor) -> None:
+        if descriptor.tier is Tier.DRAM:
+            if self.dram_pd is not None:
+                raise RuntimeError(
+                    f"page {self.page_id} already has a copy on DRAM"
+                )
+            self.dram_pd = descriptor
+        elif descriptor.tier is Tier.NVM:
+            if self.nvm_pd is not None:
+                raise RuntimeError(
+                    f"page {self.page_id} already has a copy on NVM"
+                )
+            self.nvm_pd = descriptor
+        else:
+            raise ValueError("only DRAM and NVM copies are tracked")
+
+    def detach(self, tier: Tier) -> TierPageDescriptor:
+        descriptor = self.copy_on(tier)
+        if descriptor is None:
+            raise RuntimeError(f"page {self.page_id} has no copy on {tier.name}")
+        if tier is Tier.DRAM:
+            self.dram_pd = None
+        else:
+            self.nvm_pd = None
+        return descriptor
+
+    @property
+    def resident_tiers(self) -> tuple[Tier, ...]:
+        tiers = []
+        if self.dram_pd is not None:
+            tiers.append(Tier.DRAM)
+        if self.nvm_pd is not None:
+            tiers.append(Tier.NVM)
+        return tuple(tiers)
+
+    @property
+    def buffered(self) -> bool:
+        return self.dram_pd is not None or self.nvm_pd is not None
+
+    # ------------------------------------------------------------------
+    # Unpin waiting (the NVM→DRAM migration protocol, §5.2)
+    # ------------------------------------------------------------------
+    def notify_unpin(self) -> None:
+        with self._unpin_cv:
+            self._unpin_cv.notify_all()
+
+    def wait_for_unpinned(self, tier: Tier, timeout: float = 5.0) -> None:
+        """Block until the ``tier`` copy has no users (or it vanished)."""
+        descriptor = self.copy_on(tier)
+        if descriptor is None or not descriptor.pinned:
+            return
+        deadline_waits = max(1, int(timeout / 0.05))
+        with self._unpin_cv:
+            for _ in range(deadline_waits):
+                descriptor = self.copy_on(tier)
+                if descriptor is None or not descriptor.pinned:
+                    return
+                self._unpin_cv.wait(timeout=0.05)
+        raise TimeoutError(
+            f"page {self.page_id} on {tier.name} stayed pinned for {timeout}s"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tiers = ",".join(t.name for t in self.resident_tiers) or "none"
+        return f"SharedPageDescriptor(page={self.page_id}, resident={tiers})"

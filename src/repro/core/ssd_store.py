@@ -1,0 +1,82 @@
+"""The SSD-resident database: the authoritative home of every page.
+
+All pages are born on SSD (the paper: "Initially, a newly-allocated
+16 KB page resides on SSD").  The store keeps the durable copy of each
+page's content; buffered copies on DRAM/NVM may be newer until written
+back.  A crash-simulation hook drops nothing here (SSD is persistent)
+— volatile state is dropped by the buffer manager's ``crash()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from ..hardware.device import Device
+from ..hardware.specs import PAGE_SIZE
+from ..pages.page import Page, PageId
+
+
+class SsdStore:
+    """Page-granular durable store backed by a simulated SSD device."""
+
+    def __init__(self, device: Device, page_size: int = PAGE_SIZE) -> None:
+        self.device = device
+        self.page_size = page_size
+        self._pages: dict[PageId, Page] = {}
+        self._next_id = itertools.count()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def allocate(self, page_id: PageId | None = None) -> Page:
+        """Create a new empty page on SSD and return its durable copy."""
+        with self._lock:
+            if page_id is None:
+                page_id = next(self._next_id)
+                while page_id in self._pages:
+                    page_id = next(self._next_id)
+            elif page_id in self._pages:
+                raise ValueError(f"page {page_id} already exists")
+            page = Page(page_id, self.page_size)
+            self._pages[page_id] = page
+            return page
+
+    def exists(self, page_id: PageId) -> bool:
+        with self._lock:
+            return page_id in self._pages
+
+    def read_page(self, page_id: PageId) -> Page:
+        """Fetch the durable copy, charging a full-page SSD read."""
+        with self._lock:
+            try:
+                page = self._pages[page_id]
+            except KeyError:
+                raise KeyError(f"page {page_id} does not exist on SSD") from None
+        self.device.read(self.page_size)
+        return page
+
+    def write_page(self, page: Page, sequential: bool = False) -> None:
+        """Write ``page``'s content back, charging a full-page SSD write."""
+        with self._lock:
+            durable = self._pages.get(page.page_id)
+            if durable is None:
+                raise KeyError(f"page {page.page_id} does not exist on SSD")
+        durable.copy_from(page)
+        self.device.write(self.page_size, sequential=sequential)
+
+    def peek(self, page_id: PageId) -> Page | None:
+        """Durable copy without charging I/O (tests/recovery inspection)."""
+        with self._lock:
+            return self._pages.get(page_id)
+
+    def drop(self, page_id: PageId) -> bool:
+        with self._lock:
+            return self._pages.pop(page_id, None) is not None
+
+    def page_ids(self) -> list[PageId]:
+        with self._lock:
+            return list(self._pages)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pages)

@@ -1,0 +1,6 @@
+"""The assembled storage engine: BM + B+Tree + MVTO + WAL."""
+
+from .engine import EngineConfig, StorageEngine
+from .table import RecordId, Table
+
+__all__ = ["EngineConfig", "RecordId", "StorageEngine", "Table"]

@@ -1,0 +1,197 @@
+"""Simulated storage devices.
+
+Each device wraps a :class:`~repro.hardware.specs.DeviceSpec` and charges
+access costs (latency + transfer time, with media-granularity
+amplification) to a shared :class:`~repro.hardware.simclock.CostAccumulator`.
+Devices also track cumulative read/write volume, which the lifetime
+experiments (Figs. 8 and 13 of the paper) report directly.
+
+Devices do not store page *content* — the page layer owns content; the
+device layer owns capacity accounting and cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .simclock import CostAccumulator
+from .specs import DeviceSpec, Tier
+
+
+@dataclass
+class DeviceCounters:
+    """Cumulative traffic counters for one device."""
+
+    read_ops: int = 0
+    write_ops: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    #: Bytes actually touched on the media (>= logical bytes because of the
+    #: media access granularity). Endurance is consumed in media bytes.
+    media_read_bytes: int = 0
+    media_write_bytes: int = 0
+    persist_barriers: int = 0
+
+    def copy(self) -> "DeviceCounters":
+        return DeviceCounters(
+            self.read_ops,
+            self.write_ops,
+            self.read_bytes,
+            self.write_bytes,
+            self.media_read_bytes,
+            self.media_write_bytes,
+            self.persist_barriers,
+        )
+
+
+class Device:
+    """A single simulated storage device.
+
+    Parameters
+    ----------
+    spec:
+        Performance characteristics (Table 1 of the paper).
+    capacity_bytes:
+        Usable capacity. ``None`` means unbounded (useful for the SSD,
+        which holds the whole database in every experiment).
+    cost:
+        Accumulator that receives simulated service demands. A fresh
+        accumulator is created when omitted.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        capacity_bytes: int | None = None,
+        cost: CostAccumulator | None = None,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.spec = spec
+        self.capacity_bytes = capacity_bytes
+        self.cost = cost if cost is not None else CostAccumulator()
+        self.counters = DeviceCounters()
+        self._lock = threading.Lock()
+        # Hot-path constants, precomputed to keep read()/write() cheap.
+        self._key = spec.tier.value
+        self._gran = spec.media_granularity
+        self._seq_read_lat = spec.seq_read_latency_ns
+        self._rand_read_lat = spec.rand_read_latency_ns
+        self._seq_read_ns_per_byte = 1e9 / spec.seq_read_bw
+        self._rand_read_ns_per_byte = 1e9 / spec.rand_read_bw
+        self._seq_write_ns_per_byte = 1e9 / spec.seq_write_bw
+        self._rand_write_ns_per_byte = 1e9 / spec.rand_write_bw
+        self._is_ssd = spec.tier is Tier.SSD
+
+    # ------------------------------------------------------------------
+    @property
+    def tier(self) -> Tier:
+        return self.spec.tier
+
+    @property
+    def resource_key(self) -> str:
+        """Key under which this device's demand is accumulated."""
+        return self.spec.tier.value
+
+    def capacity_pages(self, page_size: int) -> int | None:
+        if self.capacity_bytes is None:
+            return None
+        return self.capacity_bytes // page_size
+
+    # ------------------------------------------------------------------
+    # Access costing
+    # ------------------------------------------------------------------
+    def read(self, nbytes: int, sequential: bool = False) -> float:
+        """Charge a read of ``nbytes`` and return its service time (ns).
+
+        The idle access latency is time the *issuing worker* waits —
+        concurrent workers overlap it — so it is charged to the divisible
+        CPU/worker resource; only the media transfer occupies the device.
+        """
+        gran = self._gran
+        media = ((nbytes + gran - 1) // gran) * gran if nbytes > 0 else 0
+        if sequential:
+            latency = self._seq_read_lat
+            transfer = media * self._seq_read_ns_per_byte
+        else:
+            latency = self._rand_read_lat
+            transfer = media * self._rand_read_ns_per_byte
+        counters = self.counters
+        with self._lock:
+            counters.read_ops += 1
+            counters.read_bytes += nbytes
+            counters.media_read_bytes += media
+        self.cost.charge(self._key, transfer, media)
+        self.cost.charge(CostAccumulator.CPU, latency)
+        return latency + transfer
+
+    def write(self, nbytes: int, sequential: bool = False) -> float:
+        """Charge a write of ``nbytes`` and return its service time (ns)."""
+        gran = self._gran
+        media = ((nbytes + gran - 1) // gran) * gran if nbytes > 0 else 0
+        if sequential:
+            transfer = media * self._seq_write_ns_per_byte
+        else:
+            transfer = media * self._rand_write_ns_per_byte
+        latency = 0.0
+        if self._is_ssd:
+            # Block devices pay their access latency on writes as well.
+            latency = self._seq_read_lat if sequential else self._rand_read_lat
+        counters = self.counters
+        with self._lock:
+            counters.write_ops += 1
+            counters.write_bytes += nbytes
+            counters.media_write_bytes += media
+        self.cost.charge(self._key, transfer, media)
+        if latency:
+            self.cost.charge(CostAccumulator.CPU, latency)
+        return latency + transfer
+
+    def persist_barrier(self) -> float:
+        """Charge a persistence barrier (clwb + sfence on NVM).
+
+        The barrier stalls the issuing worker, not the device, so it is
+        charged as worker time.
+        """
+        service = self.spec.persist_barrier_ns
+        with self._lock:
+            self.counters.persist_barriers += 1
+        if service:
+            self.cost.charge(CostAccumulator.CPU, service)
+        return service
+
+    # ------------------------------------------------------------------
+    def snapshot_counters(self) -> DeviceCounters:
+        with self._lock:
+            return self.counters.copy()
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.counters = DeviceCounters()
+
+    def write_volume_gb(self) -> float:
+        """Cumulative media write volume in (real) gigabytes."""
+        with self._lock:
+            return self.counters.media_write_bytes / 1e9
+
+    def endurance_consumed(self) -> float:
+        """Fraction of device endurance consumed so far.
+
+        Endurance is modelled as ``capacity * endurance_cycles`` total media
+        write bytes; unbounded-capacity devices report 0.
+        """
+        if not self.capacity_bytes:
+            return 0.0
+        total = self.capacity_bytes * self.spec.endurance_cycles
+        with self._lock:
+            return self.counters.media_write_bytes / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "inf" if self.capacity_bytes is None else str(self.capacity_bytes)
+        return f"Device({self.spec.name!r}, capacity={cap})"
+
+
+def cpu_charge(cost: CostAccumulator, service_ns: float) -> None:
+    """Charge pure CPU work (index lookups, latching, copying logic)."""
+    cost.charge(CostAccumulator.CPU, service_ns)

@@ -1,0 +1,6 @@
+"""Concurrent indexing: B+Tree with optimistic lock coupling."""
+
+from .bptree import DEFAULT_FANOUT, BPlusTree
+from .olc import OlcRestart, OptimisticLatch
+
+__all__ = ["BPlusTree", "DEFAULT_FANOUT", "OlcRestart", "OptimisticLatch"]

@@ -1,0 +1,40 @@
+"""Page layouts: full pages, cache-line-grained pages, mini pages.
+
+Implements the page layer of both HyMem and Spitfire, including the two
+HyMem layout optimizations the paper revisits in §6.5 (cache-line-grained
+loading and the mini-page layout) and the loading-granularity model used
+in the Fig. 11 sweep.
+"""
+
+from .cacheline_page import CACHE_LINE_PAGE_HEADER_BYTES, CacheLinePage
+from .granularity import (
+    FIG11_GRANULARITIES,
+    HYMEM_LOADING_UNIT,
+    OPTANE_LOADING_UNIT,
+    LoadingUnit,
+)
+from .mini_page import (
+    MINI_PAGE_BYTES,
+    MINI_PAGE_HEADER_BYTES,
+    MINI_PAGE_SLOTS,
+    MiniPage,
+    MiniPageOverflow,
+)
+from .page import INVALID_PAGE_ID, Page, PageId
+
+__all__ = [
+    "CACHE_LINE_PAGE_HEADER_BYTES",
+    "CacheLinePage",
+    "FIG11_GRANULARITIES",
+    "HYMEM_LOADING_UNIT",
+    "INVALID_PAGE_ID",
+    "LoadingUnit",
+    "MINI_PAGE_BYTES",
+    "MINI_PAGE_HEADER_BYTES",
+    "MINI_PAGE_SLOTS",
+    "MiniPage",
+    "MiniPageOverflow",
+    "OPTANE_LOADING_UNIT",
+    "Page",
+    "PageId",
+]

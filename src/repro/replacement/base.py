@@ -1,0 +1,45 @@
+"""Replacement-policy interface shared by CLOCK, LRU, and FIFO.
+
+A replacer tracks the set of frames currently in a buffer pool and picks
+victims when space must be reclaimed.  Frames are identified by integer
+frame indexes; the buffer pool owns the frame → page mapping.  Pinned
+frames are the pool's concern: the pool keeps asking for victims until it
+finds an evictable one, returning skipped frames to the replacer.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class ReplacementPolicy(abc.ABC):
+    """Abstract victim-selection policy over integer frame indexes."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("replacer capacity must be positive")
+        self.capacity = capacity
+
+    @abc.abstractmethod
+    def insert(self, frame: int) -> None:
+        """Register a newly filled frame."""
+
+    @abc.abstractmethod
+    def remove(self, frame: int) -> None:
+        """Forget a frame (it was evicted or invalidated)."""
+
+    @abc.abstractmethod
+    def record_access(self, frame: int) -> None:
+        """Note a hit on ``frame``."""
+
+    @abc.abstractmethod
+    def victim(self) -> int | None:
+        """Pick a frame to evict, or None when empty."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of frames currently tracked."""
+
+    @abc.abstractmethod
+    def __contains__(self, frame: int) -> bool:
+        """Whether ``frame`` is currently tracked."""

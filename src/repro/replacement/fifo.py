@@ -1,0 +1,51 @@
+"""FIFO replacement (ablation baseline): evict in insertion order."""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .base import ReplacementPolicy
+
+
+class FifoReplacer(ReplacementPolicy):
+    """First-in-first-out victim selection; accesses are ignored."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def insert(self, frame: int) -> None:
+        self._check(frame)
+        with self._lock:
+            if frame not in self._order:
+                self._order[frame] = None
+
+    def remove(self, frame: int) -> None:
+        self._check(frame)
+        with self._lock:
+            self._order.pop(frame, None)
+
+    def record_access(self, frame: int) -> None:
+        self._check(frame)
+        # FIFO deliberately ignores accesses.
+
+    def victim(self) -> int | None:
+        with self._lock:
+            if not self._order:
+                return None
+            return next(iter(self._order))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    def __contains__(self, frame: int) -> bool:
+        self._check(frame)
+        with self._lock:
+            return frame in self._order
+
+    def _check(self, frame: int) -> None:
+        if not 0 <= frame < self.capacity:
+            raise IndexError(f"frame {frame} out of range [0, {self.capacity})")

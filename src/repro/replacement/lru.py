@@ -1,0 +1,63 @@
+"""Strict LRU replacement (ablation baseline).
+
+The paper uses CLOCK everywhere; LRU is included so the test suite and
+the replacement-policy ablation can compare CLOCK's approximation of
+recency against the exact policy it approximates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .base import ReplacementPolicy
+
+
+class LruReplacer(ReplacementPolicy):
+    """Exact least-recently-used victim selection."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: OrderedDict[int, None] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def insert(self, frame: int) -> None:
+        self._check(frame)
+        with self._lock:
+            self._order[frame] = None
+            self._order.move_to_end(frame)
+
+    def remove(self, frame: int) -> None:
+        self._check(frame)
+        with self._lock:
+            self._order.pop(frame, None)
+
+    def record_access(self, frame: int) -> None:
+        self._check(frame)
+        with self._lock:
+            if frame in self._order:
+                self._order.move_to_end(frame)
+
+    def victim(self) -> int | None:
+        with self._lock:
+            if not self._order:
+                return None
+            frame, _ = self._order.popitem(last=False)
+            # The pool decides whether the eviction goes ahead; keep the
+            # frame registered until remove() is called.
+            self._order[frame] = None
+            self._order.move_to_end(frame, last=False)
+            return frame
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    def __contains__(self, frame: int) -> bool:
+        self._check(frame)
+        with self._lock:
+            return frame in self._order
+
+    def _check(self, frame: int) -> None:
+        if not 0 <= frame < self.capacity:
+            raise IndexError(f"frame {frame} out of range [0, {self.capacity})")

@@ -1,0 +1,18 @@
+"""Adaptive data migration: simulated annealing over policies (§4)."""
+
+from .annealing import (
+    PROBABILITY_LEVELS,
+    AnnealingSchedule,
+    PolicyAnnealer,
+    throughput_cost,
+)
+from .controller import AdaptiveController, EpochRecord
+
+__all__ = [
+    "AdaptiveController",
+    "AnnealingSchedule",
+    "EpochRecord",
+    "PROBABILITY_LEVELS",
+    "PolicyAnnealer",
+    "throughput_cost",
+]

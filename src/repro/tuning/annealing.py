@@ -1,0 +1,167 @@
+"""Simulated-annealing search over migration policies (§4 of the paper).
+
+Spitfire adapts its policy ``P = <D_r, D_w, N_r, N_w>`` at runtime by
+minimising ``cost_T(P) = 1/T`` where ``T`` is the throughput observed
+while running ``P`` for one tuning epoch.  The search is classic
+simulated annealing (Kirkpatrick et al. [21]): a neighbouring policy is
+proposed each epoch; improvements are always accepted, regressions are
+accepted with probability ``exp(-Δcost/t)``; the temperature ``t`` cools
+geometrically.
+
+The paper sets the initial/final temperatures to 800 and 0.00008 and
+uses a cooling factor α = 0.9 (§6.4); those are the defaults here.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from ..core.policy import MigrationPolicy
+
+#: The discrete probability levels the experiments sweep; annealing moves
+#: between adjacent levels, which matches the paper's policy grid.
+PROBABILITY_LEVELS = (0.0, 0.01, 0.1, 0.2, 0.5, 1.0)
+
+
+def throughput_cost(throughput: float) -> float:
+    """The paper's cost function ``cost_T(P) = 1/T``."""
+    if throughput <= 0:
+        return float("inf")
+    return 1.0 / throughput
+
+
+@dataclass
+class AnnealingSchedule:
+    """Geometric cooling schedule."""
+
+    initial_temperature: float = 800.0
+    final_temperature: float = 8e-5
+    alpha: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.final_temperature <= 0 or self.initial_temperature <= 0:
+            raise ValueError("temperatures must be positive")
+        if self.final_temperature >= self.initial_temperature:
+            raise ValueError("final temperature must be below the initial one")
+
+    def temperature(self, step: int) -> float:
+        """Temperature at tuning step ``step`` (clamped at the floor)."""
+        return max(self.final_temperature, self.initial_temperature * self.alpha**step)
+
+    @property
+    def steps_to_final(self) -> int:
+        """Number of steps until the floor temperature is reached."""
+        ratio = self.final_temperature / self.initial_temperature
+        return math.ceil(math.log(ratio) / math.log(self.alpha))
+
+
+class PolicyAnnealer:
+    """Simulated-annealing state machine over migration policies.
+
+    Drive it epoch by epoch::
+
+        candidate = annealer.propose()
+        ...run one epoch under ``candidate``, measure throughput...
+        annealer.observe(candidate, throughput)
+
+    :attr:`best_policy` tracks the lowest-cost policy seen so far.
+    """
+
+    def __init__(
+        self,
+        initial_policy: MigrationPolicy,
+        schedule: AnnealingSchedule | None = None,
+        seed: int = 7,
+        levels: tuple[float, ...] = PROBABILITY_LEVELS,
+        lockstep: bool = True,
+    ) -> None:
+        if not levels or sorted(levels) != list(levels):
+            raise ValueError("levels must be a sorted non-empty tuple")
+        self.schedule = schedule or AnnealingSchedule()
+        self.rng = random.Random(seed)
+        self.levels = levels
+        #: When True, D_r/D_w move together and N_r/N_w move together,
+        #: mirroring the paper's lockstep sweeps; when False all four
+        #: probabilities are tuned independently.
+        self.lockstep = lockstep
+        self.step = 0
+        self.current_policy = initial_policy
+        self.current_cost = float("inf")
+        self.best_policy = initial_policy
+        self.best_cost = float("inf")
+        self.accepted_regressions = 0
+        self.rejections = 0
+        self.history: list[tuple[MigrationPolicy, float]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def temperature(self) -> float:
+        return self.schedule.temperature(self.step)
+
+    def _nearest_level(self, value: float) -> int:
+        return min(
+            range(len(self.levels)), key=lambda i: abs(self.levels[i] - value)
+        )
+
+    def _perturb(self, value: float) -> float:
+        """Move one step up or down the level grid."""
+        index = self._nearest_level(value)
+        if index == 0:
+            index += 1
+        elif index == len(self.levels) - 1:
+            index -= 1
+        else:
+            index += self.rng.choice((-1, 1))
+        return self.levels[index]
+
+    def propose(self) -> MigrationPolicy:
+        """A neighbouring candidate policy for the next epoch."""
+        policy = self.current_policy
+        if self.lockstep:
+            which = self.rng.choice(("d", "n"))
+            if which == "d":
+                new_d = self._perturb(policy.d_r)
+                return replace(policy, d_r=new_d, d_w=new_d, name="")
+            new_n = self._perturb(policy.n_r)
+            return replace(policy, n_r=new_n, n_w=new_n, name="")
+        field = self.rng.choice(("d_r", "d_w", "n_r", "n_w"))
+        return replace(policy, **{field: self._perturb(getattr(policy, field)),
+                                  "name": ""})
+
+    def observe(self, candidate: MigrationPolicy, throughput: float) -> bool:
+        """Record the epoch's measurement; return True when accepted."""
+        cost = throughput_cost(throughput)
+        self.history.append((candidate, throughput))
+        accepted = self._accept(cost)
+        if accepted:
+            if cost > self.current_cost:
+                self.accepted_regressions += 1
+            self.current_policy = candidate
+            self.current_cost = cost
+        else:
+            self.rejections += 1
+        if cost < self.best_cost:
+            self.best_cost = cost
+            self.best_policy = candidate
+        self.step += 1
+        return accepted
+
+    def _accept(self, cost: float) -> bool:
+        if cost <= self.current_cost:
+            return True
+        if math.isinf(cost):
+            return False
+        # Costs are tiny (1/throughput); scale the delta into the
+        # temperature's range so early steps genuinely explore.
+        delta = (cost - self.current_cost) / max(self.current_cost, 1e-30)
+        temperature = self.temperature
+        # Normalise temperature to [0, 1] of its initial value.
+        t_norm = temperature / self.schedule.initial_temperature
+        if t_norm <= 0:
+            return False
+        probability = math.exp(-delta / t_norm)
+        return self.rng.random() < probability

@@ -1,0 +1,21 @@
+"""Transactions: MVTO concurrency control and timestamp management."""
+
+from .mvto import INFINITY_TS, MvtoStore, Version, VersionChain, run_transaction
+from .transaction import (
+    TimestampOracle,
+    Transaction,
+    TransactionAborted,
+    TxnState,
+)
+
+__all__ = [
+    "INFINITY_TS",
+    "MvtoStore",
+    "TimestampOracle",
+    "Transaction",
+    "TransactionAborted",
+    "TxnState",
+    "Version",
+    "VersionChain",
+    "run_transaction",
+]

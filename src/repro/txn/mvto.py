@@ -1,0 +1,291 @@
+"""Multi-version timestamp ordering (MVTO) concurrency control.
+
+Implements the protocol Spitfire uses (§5.2, following the survey of
+Wu et al. [39]):
+
+* every tuple has a version chain, newest first;
+* a reader with timestamp ``T`` reads the newest version whose
+  ``begin <= T < end`` and records ``T`` in the version's ``read_ts``;
+* a writer with timestamp ``T`` may only update the newest committed
+  version ``V`` if ``V.read_ts <= T`` (no later reader has seen ``V``)
+  and ``V`` is not write-locked by another active transaction; it
+  write-locks ``V`` and stages a new version;
+* commit installs staged versions at timestamp ``T`` (closing the old
+  version's lifetime) and releases locks; abort discards them.
+
+Conflicts abort immediately (no waiting), the standard choice for
+timestamp-ordering protocols.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from .transaction import TimestampOracle, Transaction, TransactionAborted, TxnState
+
+#: Timestamp representing "still alive" for a version's end.
+INFINITY_TS = 2**62
+
+
+@dataclass
+class Version:
+    """One version of a tuple."""
+
+    value: Any
+    begin_ts: int
+    end_ts: int = INFINITY_TS
+    read_ts: int = 0
+    #: Holder of the write lock while an update of this version is staged.
+    locked_by: int | None = None
+
+    def visible_to(self, timestamp: int) -> bool:
+        return self.begin_ts <= timestamp < self.end_ts
+
+
+class VersionChain:
+    """Newest-first chain of versions for one key."""
+
+    __slots__ = ("versions", "staged", "lock")
+
+    def __init__(self) -> None:
+        self.versions: list[Version] = []
+        #: txn_id -> staged (uncommitted) value.
+        self.staged: dict[int, Any] = {}
+        self.lock = threading.Lock()
+
+    @property
+    def newest(self) -> Version | None:
+        return self.versions[0] if self.versions else None
+
+    def visible_version(self, timestamp: int) -> Version | None:
+        for version in self.versions:
+            if version.visible_to(timestamp):
+                return version
+        return None
+
+    def prune(self, horizon: int) -> int:
+        """Drop versions invisible to every timestamp >= ``horizon``.
+
+        The newest version is always retained.  Returns the number of
+        versions removed (garbage collection).
+        """
+        with self.lock:
+            # Versions are newest-first: everything *after* the first
+            # version visible at the horizon can never be read again.
+            for index, version in enumerate(self.versions):
+                if version.begin_ts <= horizon:
+                    removed = len(self.versions) - index - 1
+                    del self.versions[index + 1:]
+                    return removed
+            return 0
+
+
+class MvtoStore:
+    """A transactional multi-version key-value map.
+
+    Hooks (``on_read``/``on_write``) let the storage engine charge buffer
+    traffic and write log records without MVTO knowing about either.
+    """
+
+    def __init__(self, oracle: TimestampOracle | None = None) -> None:
+        self.oracle = oracle or TimestampOracle()
+        self._chains: dict[Any, VersionChain] = {}
+        self._chains_lock = threading.Lock()
+        self._active: dict[int, Transaction] = {}
+        self._active_lock = threading.Lock()
+        self.aborts = 0
+        self.commits = 0
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        txn = Transaction(self.oracle.next())
+        with self._active_lock:
+            self._active[txn.txn_id] = txn
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        txn.ensure_active()
+        commit_ts = txn.timestamp
+        for key in txn.write_set:
+            chain = self._chain(key)
+            with chain.lock:
+                staged = chain.staged.pop(txn.txn_id, _MISSING)
+                newest = chain.newest
+                if newest is not None and newest.locked_by == txn.txn_id:
+                    newest.locked_by = None
+                    if staged is not _MISSING:
+                        newest.end_ts = commit_ts
+                if staged is not _MISSING:
+                    chain.versions.insert(
+                        0, Version(staged, begin_ts=commit_ts, read_ts=commit_ts)
+                    )
+        txn.state = TxnState.COMMITTED
+        self.commits += 1
+        self._retire(txn)
+
+    def abort(self, txn: Transaction, reason: str = "user abort") -> None:
+        if txn.state is TxnState.ABORTED:
+            return
+        txn.ensure_active()
+        for key in txn.write_set:
+            chain = self._chain(key)
+            with chain.lock:
+                chain.staged.pop(txn.txn_id, None)
+                newest = chain.newest
+                if newest is not None and newest.locked_by == txn.txn_id:
+                    newest.locked_by = None
+        txn.state = TxnState.ABORTED
+        self.aborts += 1
+        self._retire(txn)
+
+    def _retire(self, txn: Transaction) -> None:
+        with self._active_lock:
+            self._active.pop(txn.txn_id, None)
+
+    # ------------------------------------------------------------------
+    # Reads and writes
+    # ------------------------------------------------------------------
+    def read(self, txn: Transaction, key: Any) -> Any:
+        """MVTO read; raises KeyError for never-written keys."""
+        txn.ensure_active()
+        chain = self._chains.get(key)
+        if chain is None:
+            raise KeyError(key)
+        with chain.lock:
+            # A transaction sees its own staged write first.
+            if txn.txn_id in chain.staged:
+                return chain.staged[txn.txn_id]
+            version = chain.visible_version(txn.timestamp)
+            if version is None:
+                raise KeyError(key)
+            if version.locked_by is not None and version.locked_by != txn.txn_id:
+                # The visible version is being superseded by an active
+                # writer; timestamp ordering aborts the reader rather
+                # than risking a non-serialisable read.
+                self._abort_with(txn, "read of write-locked version")
+            if txn.timestamp > version.read_ts:
+                version.read_ts = txn.timestamp
+        txn.read_set.add(key)
+        return version.value
+
+    def write(self, txn: Transaction, key: Any, value: Any) -> None:
+        """MVTO write: stage a new version of ``key``."""
+        txn.ensure_active()
+        chain = self._chain(key)
+        with chain.lock:
+            newest = chain.newest
+            if newest is not None:
+                if newest.locked_by is not None and newest.locked_by != txn.txn_id:
+                    self._abort_with(txn, "write-write conflict")
+                if newest.read_ts > txn.timestamp:
+                    # A younger transaction already read the newest
+                    # version; writing under it would break ordering.
+                    self._abort_with(txn, "stale write (later reader exists)")
+                if newest.begin_ts > txn.timestamp:
+                    self._abort_with(txn, "stale write (newer version exists)")
+                newest.locked_by = txn.txn_id
+            chain.staged[txn.txn_id] = value
+        txn.write_set.add(key)
+
+    def delete(self, txn: Transaction, key: Any) -> None:
+        """Model deletion as writing a tombstone (None value)."""
+        self.write(txn, key, None)
+
+    def _abort_with(self, txn: Transaction, reason: str) -> None:
+        # Release the chain lock context in the caller via exception; the
+        # abort cleanup re-acquires chain locks one by one.
+        raise _DeferredAbort(txn, reason)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _chain(self, key: Any) -> VersionChain:
+        with self._chains_lock:
+            chain = self._chains.get(key)
+            if chain is None:
+                chain = VersionChain()
+                self._chains[key] = chain
+            return chain
+
+    def get_committed(self, key: Any, timestamp: int | None = None) -> Any:
+        """Non-transactional snapshot read (tests, recovery checks)."""
+        chain = self._chains.get(key)
+        if chain is None:
+            raise KeyError(key)
+        ts = timestamp if timestamp is not None else self.oracle.current
+        with chain.lock:
+            version = chain.visible_version(ts)
+        if version is None:
+            raise KeyError(key)
+        return version.value
+
+    def version_count(self, key: Any) -> int:
+        chain = self._chains.get(key)
+        if chain is None:
+            return 0
+        with chain.lock:
+            return len(chain.versions)
+
+    def keys(self) -> Iterator[Any]:
+        with self._chains_lock:
+            return iter(list(self._chains))
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def oldest_active_timestamp(self) -> int:
+        with self._active_lock:
+            if not self._active:
+                return self.oracle.current + 1
+            return min(self._active)
+
+    def garbage_collect(self) -> int:
+        """Prune versions no active or future transaction can see."""
+        horizon = self.oldest_active_timestamp()
+        removed = 0
+        with self._chains_lock:
+            chains = list(self._chains.values())
+        for chain in chains:
+            removed += chain.prune(horizon)
+        return removed
+
+
+class _DeferredAbort(TransactionAborted):
+    """Internal: raised inside a chain lock, finalised outside it."""
+
+
+_MISSING = object()
+
+
+def run_transaction(store: MvtoStore, body: Callable[[Transaction], Any],
+                    max_retries: int = 10) -> Any:
+    """Execute ``body`` transactionally, retrying on MVTO aborts.
+
+    The standard application-level retry loop: a new transaction (and a
+    new, later timestamp) is used for each attempt.
+    """
+    last_error: TransactionAborted | None = None
+    for _ in range(max_retries):
+        txn = store.begin()
+        try:
+            result = body(txn)
+        except _DeferredAbort as abort_exc:
+            store.abort(txn, abort_exc.reason)
+            last_error = abort_exc
+            continue
+        except TransactionAborted as abort_exc:
+            if txn.is_active:
+                store.abort(txn, abort_exc.reason)
+            last_error = abort_exc
+            continue
+        except Exception:
+            if txn.is_active:
+                store.abort(txn, "exception in transaction body")
+            raise
+        store.commit(txn)
+        return result
+    raise TransactionAborted(-1, f"gave up after {max_retries} retries: {last_error}")

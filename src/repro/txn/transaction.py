@@ -1,0 +1,79 @@
+"""Transaction objects and lifecycle states.
+
+Transactions are timestamped at begin; the timestamp doubles as the
+transaction identifier and as the MVTO read/write ordering point
+(Wu et al. [39]).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionAborted(Exception):
+    """The MVTO protocol decided this transaction must abort."""
+
+    def __init__(self, txn_id: int, reason: str) -> None:
+        super().__init__(f"txn {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+@dataclass
+class Transaction:
+    """One MVTO transaction.
+
+    ``timestamp`` orders the transaction in the serial history.  The
+    write set tracks keys this transaction created new versions for,
+    so commit/abort can finalise or roll them back; the read set exists
+    for observability and testing.
+    """
+
+    timestamp: int
+    state: TxnState = TxnState.ACTIVE
+    write_set: set[Any] = field(default_factory=set)
+    read_set: set[Any] = field(default_factory=set)
+    #: LSN of this transaction's most recent log record (backward chain).
+    last_lsn: int = -1
+
+    @property
+    def txn_id(self) -> int:
+        return self.timestamp
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    def ensure_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionAborted(
+                self.txn_id, f"operation on {self.state.value} transaction"
+            )
+
+
+class TimestampOracle:
+    """Monotonically increasing timestamp allocator."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            timestamp = self._next
+            self._next += 1
+            return timestamp
+
+    @property
+    def current(self) -> int:
+        with self._lock:
+            return self._next - 1

@@ -1,0 +1,18 @@
+"""NVM-aware write-ahead logging, checkpointing, and recovery (§5.2)."""
+
+from .checkpoint import Checkpointer, CheckpointRecordKeeper
+from .log_manager import LogManager, LogStats
+from .records import LOG_RECORD_HEADER_BYTES, LogRecord, LogRecordType
+from .recovery import RecoveryManager, RecoveryReport
+
+__all__ = [
+    "Checkpointer",
+    "CheckpointRecordKeeper",
+    "LOG_RECORD_HEADER_BYTES",
+    "LogManager",
+    "LogRecord",
+    "LogRecordType",
+    "LogStats",
+    "RecoveryManager",
+    "RecoveryReport",
+]

@@ -1,0 +1,75 @@
+"""Write-ahead log records.
+
+A log record carries the fields §5.2 lists: transaction and page
+identifiers, record type, the LSN of the transaction's previous record,
+and before/after images.  Sizes are estimated so the simulated devices
+can be charged realistically for log traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Fixed header: lsn + txn id + page id + type + prev_lsn + checksum.
+LOG_RECORD_HEADER_BYTES = 48
+
+
+class LogRecordType(enum.Enum):
+    BEGIN = "begin"
+    UPDATE = "update"
+    INSERT = "insert"
+    DELETE = "delete"
+    COMMIT = "commit"
+    ABORT = "abort"
+    #: Compensation record written while undoing a loser.
+    CLR = "clr"
+    CHECKPOINT_BEGIN = "checkpoint_begin"
+    CHECKPOINT_END = "checkpoint_end"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One immutable WAL entry."""
+
+    lsn: int
+    record_type: LogRecordType
+    txn_id: int
+    page_id: int = -1
+    slot: int = -1
+    prev_lsn: int = -1
+    before: bytes | None = None
+    after: bytes | None = None
+    #: For CLRs: the next record of this txn still to be undone.
+    undo_next_lsn: int = -1
+
+    def size_bytes(self) -> int:
+        size = LOG_RECORD_HEADER_BYTES
+        if self.before is not None:
+            size += len(self.before)
+        if self.after is not None:
+            size += len(self.after)
+        return size
+
+    @property
+    def is_redoable(self) -> bool:
+        return self.record_type in (
+            LogRecordType.UPDATE,
+            LogRecordType.INSERT,
+            LogRecordType.DELETE,
+            LogRecordType.CLR,
+        )
+
+    @property
+    def is_undoable(self) -> bool:
+        return self.record_type in (
+            LogRecordType.UPDATE,
+            LogRecordType.INSERT,
+            LogRecordType.DELETE,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LogRecord(lsn={self.lsn}, {self.record_type.value}, "
+            f"txn={self.txn_id}, page={self.page_id}, slot={self.slot})"
+        )

@@ -1,0 +1,137 @@
+"""Crash recovery (§5.2): NVM buffer reconstruction + ARIES-style passes.
+
+Recovery proceeds in four steps:
+
+1. **NVM buffer scan** — rebuild the (DRAM-resident, hence lost) mapping
+   table from the persistent NVM buffer, so the latest durable version
+   of each page is known: an NVM copy supersedes the SSD copy.
+2. **Log completion** — append the persistent NVM log buffer to the SSD
+   log file so the log is complete.
+3. **Analysis** — one forward scan classifying transactions into winners
+   (commit record durable) and losers.
+4. **Redo + Undo** — redo winners' effects that are missing from the
+   latest durable page copies (LSN comparison makes redo idempotent),
+   then undo losers' effects newest-first, writing CLRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.buffer_manager import BufferManager
+from ..hardware.specs import Tier
+from ..pages.page import Page
+from .log_manager import LogManager
+from .records import LogRecord, LogRecordType
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery run did."""
+
+    recovered_nvm_pages: int = 0
+    log_records_scanned: int = 0
+    winners: set[int] = field(default_factory=set)
+    losers: set[int] = field(default_factory=set)
+    redo_applied: int = 0
+    redo_skipped: int = 0
+    undo_applied: int = 0
+    clrs_written: int = 0
+
+
+class RecoveryManager:
+    """Runs the recovery protocol against a crashed buffer manager."""
+
+    def __init__(self, buffer_manager: BufferManager, log_manager: LogManager) -> None:
+        self.bm = buffer_manager
+        self.log = log_manager
+
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        report = RecoveryReport()
+        # Step 1: reconstruct the mapping table from the NVM buffer.
+        report.recovered_nvm_pages = self.bm.recover_mapping_table()
+        # Step 2: complete the log from the persistent NVM log buffer.
+        records = self.log.recovered_records()
+        report.log_records_scanned = len(records)
+        # Step 3: analysis.
+        self._analysis(records, report)
+        # Step 4a: redo winners.
+        self._redo(records, report)
+        # Step 4b: undo losers.
+        self._undo(records, report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _analysis(self, records: list[LogRecord], report: RecoveryReport) -> None:
+        started: set[int] = set()
+        finished: set[int] = set()
+        for record in records:
+            if record.txn_id == 0:
+                continue  # checkpoint bookkeeping
+            if record.record_type is LogRecordType.BEGIN:
+                started.add(record.txn_id)
+            elif record.record_type in (LogRecordType.COMMIT, LogRecordType.ABORT):
+                finished.add(record.txn_id)
+                if record.record_type is LogRecordType.COMMIT:
+                    report.winners.add(record.txn_id)
+            else:
+                # An update without a visible BEGIN (truncated log) still
+                # identifies an in-flight transaction.
+                started.add(record.txn_id)
+        report.losers = started - finished
+
+    # ------------------------------------------------------------------
+    def _latest_durable_page(self, page_id: int) -> Page | None:
+        """The freshest durable copy: NVM buffer first, then SSD."""
+        shared = self.bm.table.get(page_id)
+        if shared is not None:
+            nvm_desc = shared.copy_on(Tier.NVM)
+            if nvm_desc is not None and isinstance(nvm_desc.content, Page):
+                return nvm_desc.content
+        return self.bm.store.peek(page_id)
+
+    def _redo(self, records: list[LogRecord], report: RecoveryReport) -> None:
+        for record in records:
+            if not record.is_redoable or record.txn_id not in report.winners:
+                continue
+            page = self._latest_durable_page(record.page_id)
+            if page is None:
+                continue
+            if page.lsn >= record.lsn:
+                report.redo_skipped += 1
+                continue
+            self._apply_image(page, record, record.after)
+            page.lsn = record.lsn
+            report.redo_applied += 1
+
+    def _undo(self, records: list[LogRecord], report: RecoveryReport) -> None:
+        for record in reversed(records):
+            if not record.is_undoable or record.txn_id not in report.losers:
+                continue
+            page = self._latest_durable_page(record.page_id)
+            if page is not None:
+                self._apply_image(page, record, record.before)
+                report.undo_applied += 1
+            clr = self.log.append(
+                LogRecordType.CLR,
+                txn_id=record.txn_id,
+                page_id=record.page_id,
+                slot=record.slot,
+                after=record.before,
+                undo_next_lsn=record.prev_lsn,
+            )
+            if page is not None:
+                page.lsn = clr.lsn
+            report.clrs_written += 1
+        # Close out every loser with an abort record.
+        for txn_id in sorted(report.losers):
+            self.log.append(LogRecordType.ABORT, txn_id=txn_id)
+        self.log.flush()
+
+    @staticmethod
+    def _apply_image(page: Page, record: LogRecord, image: bytes | None) -> None:
+        if image is None:
+            page.delete_record(record.slot)
+        else:
+            page.write_record(record.slot, image)

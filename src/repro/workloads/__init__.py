@@ -1,0 +1,57 @@
+"""Workloads: YCSB, TPC-C, Zipfian generation, and trace replay."""
+
+from .tpcc import GB_PER_WAREHOUSE, PageAccess, TpccWorkload
+from .tpcc_engine import TpccEngine, TpccStats
+from .ycsb_engine import YcsbEngine, YcsbEngineStats
+from .trace import Trace
+from .ycsb import (
+    COLUMN_SIZE,
+    MIXES,
+    NUM_COLUMNS,
+    TUPLE_SIZE,
+    TUPLES_PER_PAGE,
+    Operation,
+    OpKind,
+    YCSB_BA,
+    YCSB_RO,
+    YCSB_WH,
+    YcsbMix,
+    YcsbWorkload,
+)
+from .zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    nurand,
+    scramble,
+    zeta,
+)
+
+__all__ = [
+    "COLUMN_SIZE",
+    "GB_PER_WAREHOUSE",
+    "MIXES",
+    "NUM_COLUMNS",
+    "Operation",
+    "OpKind",
+    "PageAccess",
+    "ScrambledZipfianGenerator",
+    "Trace",
+    "TpccEngine",
+    "TpccStats",
+    "TpccWorkload",
+    "TUPLES_PER_PAGE",
+    "TUPLE_SIZE",
+    "UniformGenerator",
+    "YCSB_BA",
+    "YCSB_RO",
+    "YCSB_WH",
+    "YcsbEngine",
+    "YcsbEngineStats",
+    "YcsbMix",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "nurand",
+    "scramble",
+    "zeta",
+]

@@ -1,0 +1,150 @@
+"""YCSB workload (Cooper et al. [6]) as used in the paper (§6.1).
+
+One table of ~1 KB tuples (4 B key + ten 100 B string columns), keys
+drawn from a scrambled Zipfian distribution (default skew z = 0.3).
+Three mixes:
+
+* **YCSB-RO** — 100% reads,
+* **YCSB-BA** — 50% reads / 50% updates,
+* **YCSB-WH** — 10% reads / 90% updates.
+
+A read fetches the whole tuple; an update rewrites one 100 B column.
+The generator emits logical operations; adapters below map them onto
+buffer-manager page accesses or engine transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..hardware.specs import PAGE_SIZE
+from .zipf import ScrambledZipfianGenerator, UniformGenerator
+
+#: YCSB tuple layout from §6.1: 4 B key + 10 × 100 B columns ≈ 1 KB.
+TUPLE_SIZE = 1024
+COLUMN_SIZE = 100
+NUM_COLUMNS = 10
+TUPLES_PER_PAGE = PAGE_SIZE // TUPLE_SIZE
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One logical YCSB operation."""
+
+    kind: OpKind
+    key: int
+    column: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.UPDATE
+
+
+@dataclass(frozen=True)
+class YcsbMix:
+    """Read/update proportions of one workload variant."""
+
+    name: str
+    read_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+
+
+YCSB_RO = YcsbMix("YCSB-RO", 1.0)
+YCSB_BA = YcsbMix("YCSB-BA", 0.5)
+YCSB_WH = YcsbMix("YCSB-WH", 0.1)
+
+MIXES = {mix.name: mix for mix in (YCSB_RO, YCSB_BA, YCSB_WH)}
+
+
+class YcsbWorkload:
+    """Stream of YCSB operations over ``num_tuples`` keys."""
+
+    def __init__(
+        self,
+        num_tuples: int,
+        mix: YcsbMix = YCSB_BA,
+        skew: float = 0.3,
+        seed: int = 1,
+    ) -> None:
+        if num_tuples <= 0:
+            raise ValueError("num_tuples must be positive")
+        self.num_tuples = num_tuples
+        self.mix = mix
+        self.skew = skew
+        self.rng = random.Random(seed)
+        if skew > 0:
+            self._keys = ScrambledZipfianGenerator(num_tuples, skew, seed + 1)
+        else:
+            self._keys = UniformGenerator(num_tuples, seed + 1)
+
+    @property
+    def num_pages(self) -> int:
+        """Pages needed to hold the table."""
+        return (self.num_tuples + TUPLES_PER_PAGE - 1) // TUPLES_PER_PAGE
+
+    def next_op(self) -> Operation:
+        key = self._keys.next()
+        if self.rng.random() < self.mix.read_fraction:
+            return Operation(OpKind.READ, key)
+        return Operation(OpKind.UPDATE, key, column=self.rng.randrange(NUM_COLUMNS))
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        for _ in range(count):
+            yield self.next_op()
+
+    def page_popularity(self, samples: int = 30_000) -> list[int]:
+        """Pages ranked hottest-first, estimated by sampling the key
+        distribution with an independent generator.
+
+        Used for warm-start buffer priming: the ranking reflects the
+        workload's steady-state residency, not any particular run.
+        """
+        if self.skew > 0:
+            sampler = ScrambledZipfianGenerator(self.num_tuples, self.skew,
+                                                seed=987_654)
+        else:
+            sampler = UniformGenerator(self.num_tuples, seed=987_654)
+        counts: dict[int, int] = {}
+        for _ in range(samples):
+            page = sampler.next() // TUPLES_PER_PAGE
+            counts[page] = counts.get(page, 0) + 1
+        ranked = sorted(counts, key=counts.get, reverse=True)
+        seen = set(ranked)
+        # Unsampled pages follow in id order (they are all equally cold).
+        ranked.extend(p for p in range(self.num_pages) if p not in seen)
+        return ranked
+
+    # ------------------------------------------------------------------
+    # Physical mapping helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def page_of(key: int) -> int:
+        return key // TUPLES_PER_PAGE
+
+    @staticmethod
+    def offset_of(key: int, column: int = 0) -> int:
+        slot = key % TUPLES_PER_PAGE
+        return slot * TUPLE_SIZE + 4 + column * COLUMN_SIZE
+
+    @staticmethod
+    def access_bytes(op: Operation) -> int:
+        """Bytes touched: whole tuple on read, one column on update."""
+        return TUPLE_SIZE if op.kind is OpKind.READ else COLUMN_SIZE
+
+
+def make_payload(rng: random.Random, size: int = COLUMN_SIZE) -> bytes:
+    """Random string-column payload for engine-level runs."""
+    return bytes(rng.getrandbits(8) for _ in range(min(size, 16))) * (
+        max(1, size // 16)
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures: small hierarchies and buffer managers for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffer_manager import BufferManager, BufferManagerConfig
+from repro.core.policy import SPITFIRE_EAGER, SPITFIRE_LAZY, MigrationPolicy
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale
+
+#: A tiny scale so pools hold single-digit page counts.
+TINY_SCALE = SimulationScale(pages_per_gb=4)
+
+
+@pytest.fixture
+def small_hierarchy() -> StorageHierarchy:
+    """2 GB DRAM (8 pages) + 4 GB NVM (16 pages) + 100 GB SSD."""
+    return StorageHierarchy(
+        HierarchyShape(dram_gb=2.0, nvm_gb=4.0, ssd_gb=100.0), TINY_SCALE
+    )
+
+
+@pytest.fixture
+def eager_bm(small_hierarchy: StorageHierarchy) -> BufferManager:
+    return BufferManager(small_hierarchy, SPITFIRE_EAGER)
+
+
+@pytest.fixture
+def lazy_bm(small_hierarchy: StorageHierarchy) -> BufferManager:
+    return BufferManager(small_hierarchy, SPITFIRE_LAZY)
+
+
+def make_bm(
+    dram_gb: float = 2.0,
+    nvm_gb: float = 4.0,
+    policy: MigrationPolicy = SPITFIRE_EAGER,
+    config: BufferManagerConfig | None = None,
+    pages_per_gb: int = 4,
+) -> BufferManager:
+    """Ad-hoc buffer manager builder for tests needing odd shapes."""
+    hierarchy = StorageHierarchy(
+        HierarchyShape(dram_gb=dram_gb, nvm_gb=nvm_gb, ssd_gb=100.0),
+        SimulationScale(pages_per_gb=pages_per_gb),
+    )
+    return BufferManager(hierarchy, policy, config)

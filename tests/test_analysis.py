@@ -1,0 +1,108 @@
+"""§3.5's closed forms, validated empirically against the buffer manager."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import make_bm
+
+from repro.core.analysis import (
+    accesses_for_confidence,
+    expected_accesses_to_promotion,
+    expected_dram_fraction,
+    promotion_half_life,
+    promotion_probability,
+)
+from repro.core.policy import SPITFIRE_LAZY, MigrationPolicy
+from repro.hardware.specs import Tier
+
+
+class TestClosedForms:
+    def test_promotion_probability_basics(self):
+        assert promotion_probability(0.0, 100) == 0.0
+        assert promotion_probability(1.0, 1) == 1.0
+        assert promotion_probability(0.01, 0) == 0.0
+
+    def test_converges_to_one(self):
+        """§3.5: 'as N increases, this probability converges to one.'"""
+        assert promotion_probability(0.01, 1000) > 0.99
+
+    def test_monotone_in_accesses(self):
+        probabilities = [promotion_probability(0.05, n) for n in range(50)]
+        assert probabilities == sorted(probabilities)
+
+    def test_expected_accesses(self):
+        assert expected_accesses_to_promotion(0.01) == pytest.approx(100.0)
+        assert expected_accesses_to_promotion(1.0) == 1.0
+        assert math.isinf(expected_accesses_to_promotion(0.0))
+
+    def test_half_life(self):
+        half = promotion_half_life(0.01)
+        assert promotion_probability(0.01, int(half)) == pytest.approx(0.5, abs=0.01)
+        assert promotion_half_life(1.0) == 1.0
+
+    def test_confidence_sizing(self):
+        n = accesses_for_confidence(0.01, 0.99)
+        assert 440 < n < 480  # ~459
+        assert promotion_probability(0.01, int(n + 1)) >= 0.99
+
+    def test_expected_dram_fraction(self):
+        policy = MigrationPolicy(d_r=0.5)
+        # Two pages: one accessed once (p=0.5), one twice (p=0.75).
+        assert expected_dram_fraction(policy, [1, 2]) == pytest.approx(0.625)
+        assert expected_dram_fraction(policy, []) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            promotion_probability(1.5, 1)
+        with pytest.raises(ValueError):
+            promotion_probability(0.5, -1)
+        with pytest.raises(ValueError):
+            accesses_for_confidence(0.5, 1.5)
+
+    @given(st.floats(0.001, 1.0), st.integers(0, 500))
+    def test_probability_is_valid(self, d_r, accesses):
+        assert 0.0 <= promotion_probability(d_r, accesses) <= 1.0
+
+
+class TestEmpiricalValidation:
+    """The buffer manager's promotion behaviour matches the closed form."""
+
+    @pytest.mark.parametrize("d_r,accesses", [(0.05, 20), (0.1, 10), (0.2, 3)])
+    def test_promotion_rate_matches_theory(self, d_r, accesses):
+        trials = 300
+        promoted = 0
+        policy = MigrationPolicy(d_r=d_r, d_w=d_r, n_r=1.0, n_w=1.0)
+        bm = make_bm(dram_gb=200.0, nvm_gb=200.0, policy=policy,
+                     pages_per_gb=4)  # big pools: no eviction noise
+        pages = [bm.allocate_page() for _ in range(trials)]
+        for page in pages:
+            bm.read(page)  # install in NVM (plus maybe DRAM)
+        # Reset DRAM so every page starts NVM-only.
+        bm.simulate_crash()
+        bm.recover_mapping_table()
+        for page in pages:
+            for _ in range(accesses):
+                bm.read(page)
+        promoted = sum(
+            1 for page in pages if page in bm.resident_pages(Tier.DRAM)
+        )
+        expected = promotion_probability(d_r, accesses)
+        observed = promoted / trials
+        assert observed == pytest.approx(expected, abs=0.12)
+
+    def test_lazy_policy_keeps_cold_pages_out(self):
+        """A single access at D_r = 0.01 almost never promotes."""
+        lazy_d = MigrationPolicy(d_r=0.01, d_w=0.01, n_r=1.0, n_w=1.0)
+        bm = make_bm(dram_gb=200.0, nvm_gb=200.0, policy=lazy_d,
+                     pages_per_gb=4)
+        pages = [bm.allocate_page() for _ in range(200)]
+        for page in pages:
+            bm.read(page)
+        bm.simulate_crash()
+        bm.recover_mapping_table()
+        for page in pages:
+            bm.read(page)
+        promoted = len(bm.resident_pages(Tier.DRAM))
+        assert promoted <= 10  # E = 2, allow generous slack

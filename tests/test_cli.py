@@ -1,0 +1,36 @@
+"""The repro-experiments command-line interface."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import REGISTRY
+from repro.cli import main
+
+
+class TestListing:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(REGISTRY)
+
+    def test_no_selection_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestRunning:
+    def test_runs_named_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Device Characteristics" in out
+        assert "table1 took" in out
+
+    def test_writes_json_output(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload["experiment_id"] == "table1"

@@ -1,0 +1,146 @@
+"""Real-thread concurrency at the engine and WAL layers.
+
+The buffer-manager concurrency tests live in test_concurrency.py; these
+exercise the layers above it: concurrent MVTO transactions through the
+engine (with conflict aborts and retries) and concurrent WAL appends.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.policy import SPITFIRE_EAGER
+from repro.engine.engine import StorageEngine
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale
+from repro.txn.transaction import TransactionAborted
+from repro.wal.log_manager import LogManager
+from repro.wal.records import LogRecordType
+
+SCALE = SimulationScale(pages_per_gb=8)
+
+
+class TestConcurrentLogAppends:
+    def test_lsns_unique_and_gapless(self):
+        hierarchy = StorageHierarchy(HierarchyShape(2, 8, 100), SCALE)
+        log = LogManager(hierarchy)
+        lsns: list[int] = []
+        lock = threading.Lock()
+
+        def worker(txn_id):
+            local = []
+            for _ in range(200):
+                record = log.append(LogRecordType.UPDATE, txn_id=txn_id,
+                                    page_id=0, after=b"x")
+                local.append(record.lsn)
+            with lock:
+                lsns.extend(local)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(lsns) == 800
+        assert len(set(lsns)) == 800
+        assert sorted(lsns) == list(range(min(lsns), min(lsns) + 800))
+
+    def test_concurrent_commits_all_durable(self):
+        hierarchy = StorageHierarchy(HierarchyShape(2, 8, 100), SCALE)
+        log = LogManager(hierarchy)
+
+        def worker(base):
+            for i in range(50):
+                log.commit(txn_id=base * 1000 + i)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        commits = [r for r in log.recovered_records()
+                   if r.record_type is LogRecordType.COMMIT]
+        assert len(commits) == 200
+
+
+class TestConcurrentEngineTransactions:
+    def test_concurrent_transfers_conserve_total(self):
+        """The classic bank test: concurrent transfers with MVTO retries
+        never create or destroy money."""
+        hierarchy = StorageHierarchy(HierarchyShape(4, 16, 100), SCALE)
+        engine = StorageEngine(hierarchy, SPITFIRE_EAGER)
+        engine.create_table("acct", tuple_size=64)
+        accounts = 16
+
+        def setup(txn):
+            for a in range(accounts):
+                engine.insert(txn, "acct", a, (100).to_bytes(8, "big"))
+
+        engine.execute(setup)
+        errors: list[BaseException] = []
+        gave_up = [0]
+
+        def worker(seed):
+            import random
+
+            rng = random.Random(seed)
+            for _ in range(40):
+                src, dst = rng.sample(range(accounts), 2)
+
+                def transfer(txn):
+                    a = int.from_bytes(engine.read(txn, "acct", src), "big")
+                    b = int.from_bytes(engine.read(txn, "acct", dst), "big")
+                    if a < 1:
+                        return
+                    engine.update(txn, "acct", src, (a - 1).to_bytes(8, "big"))
+                    engine.update(txn, "acct", dst, (b + 1).to_bytes(8, "big"))
+
+                try:
+                    engine.execute(transfer, max_retries=20)
+                except TransactionAborted:
+                    gave_up[0] += 1
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:3]
+
+        def total(txn):
+            return sum(
+                int.from_bytes(engine.read(txn, "acct", a), "big")
+                for a in range(accounts)
+            )
+
+        assert engine.execute(total) == accounts * 100
+
+    def test_concurrent_inserts_distinct_keys(self):
+        hierarchy = StorageHierarchy(HierarchyShape(4, 16, 100), SCALE)
+        engine = StorageEngine(hierarchy, SPITFIRE_EAGER)
+        engine.create_table("t", tuple_size=64)
+        errors: list[BaseException] = []
+
+        def worker(base):
+            try:
+                for i in range(100):
+                    key = base * 1000 + i
+                    engine.execute(
+                        lambda txn, k=key: engine.insert(txn, "t", k, b"v")
+                    )
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:3]
+        assert engine.table("t").tuple_count == 400
+        engine.table("t").index.check_invariants()
+        found = engine.execute(lambda txn: engine.scan(txn, "t", 0, 4000))
+        assert len(found) == 400

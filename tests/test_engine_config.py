@@ -1,0 +1,75 @@
+"""Engine configuration knobs and error paths."""
+
+import pytest
+
+from repro.core.buffer_manager import BufferManagerConfig
+from repro.core.policy import SPITFIRE_LAZY
+from repro.engine.engine import EngineConfig, StorageEngine
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale
+
+SCALE = SimulationScale(pages_per_gb=8)
+
+
+def hierarchy() -> StorageHierarchy:
+    return StorageHierarchy(HierarchyShape(2, 8, 100), SCALE)
+
+
+class TestEngineConfig:
+    def test_fine_grained_bm_rejected(self):
+        with pytest.raises(ValueError, match="full-page"):
+            StorageEngine(hierarchy(), SPITFIRE_LAZY,
+                          bm_config=BufferManagerConfig(fine_grained=True))
+
+    def test_custom_bm_config_accepted(self):
+        engine = StorageEngine(hierarchy(), SPITFIRE_LAZY,
+                               bm_config=BufferManagerConfig(replacement="lru",
+                                                             seed=9))
+        assert engine.bm.config.replacement == "lru"
+
+    def test_wal_off_means_no_checkpointer(self):
+        engine = StorageEngine(hierarchy(), SPITFIRE_LAZY,
+                               config=EngineConfig(enable_wal=False))
+        assert engine.log is None
+        assert engine.checkpointer is None
+
+    def test_checkpoints_off_keeps_wal(self):
+        engine = StorageEngine(hierarchy(), SPITFIRE_LAZY,
+                               config=EngineConfig(enable_checkpoints=False))
+        assert engine.log is not None
+        assert engine.checkpointer is None
+
+    def test_default_tuple_size_flows_to_tables(self):
+        engine = StorageEngine(hierarchy(), SPITFIRE_LAZY,
+                               config=EngineConfig(tuple_size=512))
+        table = engine.create_table("t")
+        assert table.tuple_size == 512
+        explicit = engine.create_table("u", tuple_size=2048)
+        assert explicit.tuple_size == 2048
+
+
+class TestTransactionBookkeeping:
+    def test_begin_logs_begin_record(self):
+        from repro.wal.records import LogRecordType
+
+        engine = StorageEngine(hierarchy(), SPITFIRE_LAZY)
+        txn = engine.begin()
+        assert txn.last_lsn > 0
+        records = engine.log.recovered_records()
+        assert records[0].record_type is LogRecordType.BEGIN
+        engine.abort(txn)
+
+    def test_abort_without_writes_is_clean(self):
+        engine = StorageEngine(hierarchy(), SPITFIRE_LAZY)
+        txn = engine.begin()
+        engine.abort(txn)
+        assert engine.mvto.aborts == 1
+
+    def test_double_abort_tolerated(self):
+        engine = StorageEngine(hierarchy(), SPITFIRE_LAZY)
+        engine.create_table("t")
+        txn = engine.begin()
+        engine.abort(txn)
+        engine.abort(txn)  # second abort is a no-op at the MVTO layer
+        assert engine.mvto.aborts == 1

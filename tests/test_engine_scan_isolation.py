@@ -1,0 +1,73 @@
+"""Engine range scans interacting with MVTO isolation and deletes."""
+
+import pytest
+
+from repro.core.policy import SPITFIRE_LAZY
+from repro.engine.engine import StorageEngine
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale
+from repro.txn.transaction import TransactionAborted
+
+
+def make_engine() -> StorageEngine:
+    hierarchy = StorageHierarchy(
+        HierarchyShape(2, 8, 100), SimulationScale(pages_per_gb=8)
+    )
+    engine = StorageEngine(hierarchy, SPITFIRE_LAZY)
+    engine.create_table("t", tuple_size=128)
+    return engine
+
+
+@pytest.fixture
+def engine() -> StorageEngine:
+    engine = make_engine()
+
+    def load(txn):
+        for key in range(20):
+            engine.insert(txn, "t", key, f"v{key}".encode())
+
+    engine.execute(load)
+    return engine
+
+
+class TestScanSemantics:
+    def test_scan_sees_own_writes(self, engine):
+        def body(txn):
+            engine.update(txn, "t", 5, b"mine")
+            return dict(engine.scan(txn, "t", 4, 6))
+
+        rows = engine.execute(body)
+        assert rows[5] == b"mine"
+        assert rows[4] == b"v4"
+
+    def test_scan_skips_deleted_keys(self, engine):
+        engine.execute(lambda txn: engine.delete(txn, "t", 5))
+        rows = engine.execute(lambda txn: engine.scan(txn, "t", 0, 19))
+        keys = [k for k, _ in rows]
+        assert 5 not in keys
+        assert len(keys) == 19
+
+    def test_scan_bounds_inclusive(self, engine):
+        rows = engine.execute(lambda txn: engine.scan(txn, "t", 3, 7))
+        assert [k for k, _ in rows] == [3, 4, 5, 6, 7]
+
+    def test_scan_empty_range(self, engine):
+        assert engine.execute(lambda txn: engine.scan(txn, "t", 100, 200)) == []
+
+    def test_scan_conflicts_with_concurrent_writer(self, engine):
+        """A scan reading a write-locked version aborts (MVTO ordering)."""
+        writer = engine.begin()
+        engine.update(writer, "t", 10, b"locked")
+        reader = engine.begin()
+        with pytest.raises(TransactionAborted):
+            engine.scan(reader, "t", 0, 19)
+        engine.abort(reader)
+        engine.commit(writer)
+        rows = engine.execute(lambda txn: dict(engine.scan(txn, "t", 0, 19)))
+        assert rows[10] == b"locked"
+
+    def test_scan_charges_buffer_traffic(self, engine):
+        reads_before = engine.bm.stats.reads
+        engine.execute(lambda txn: engine.scan(txn, "t", 0, 19))
+        assert engine.bm.stats.reads - reads_before >= 20

@@ -1,0 +1,38 @@
+"""Smoke tests: the fastest example scripts run end to end.
+
+The slower examples (quickstart, adaptive_tuning, hymem_comparison,
+storage_advisor) are exercised implicitly by the experiment benchmarks
+that cover the same code paths; here we run the two cheap ones as real
+subprocesses so a packaging or import regression cannot ship silently.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=180,
+    )
+
+
+class TestExamples:
+    def test_tpcc_demo(self):
+        result = run_example("tpcc_demo.py", "60")
+        assert result.returncode == 0, result.stderr
+        assert "consistency conditions hold" in result.stdout
+
+    def test_transactional_kv(self):
+        result = run_example("transactional_kv.py")
+        assert result.returncode == 0, result.stderr
+        assert "OK: committed transfers survived the crash" in result.stdout
+
+    def test_all_examples_compile(self):
+        for script in sorted(EXAMPLES.glob("*.py")):
+            compile(script.read_text(), str(script), "exec")

@@ -1,0 +1,143 @@
+"""Workload runner: measurement protocol, priming, WAL integration."""
+
+import pytest
+
+from repro.bench.harness import RunConfig, WorkloadRunner
+from repro.core.buffer_manager import BufferManager
+from repro.core.policy import SPITFIRE_EAGER, SPITFIRE_LAZY, NVM_SSD_POLICY
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale, Tier
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.ycsb import YCSB_BA, YCSB_RO, YcsbWorkload
+
+SCALE = SimulationScale(pages_per_gb=8)
+
+
+def make_runner(policy=SPITFIRE_EAGER, **config_kwargs):
+    hierarchy = StorageHierarchy(HierarchyShape(2, 8, 100), SCALE)
+    bm = BufferManager(hierarchy, policy)
+    defaults = dict(warmup_ops=200, measure_ops=500)
+    defaults.update(config_kwargs)
+    return WorkloadRunner(bm, RunConfig(**defaults))
+
+
+class TestMeasurementProtocol:
+    def test_ycsb_run_produces_result(self):
+        runner = make_runner()
+        workload = YcsbWorkload(500, mix=YCSB_BA, seed=1)
+        result = runner.measure_ycsb(workload)
+        assert result.operations == 500
+        assert result.throughput > 0
+        assert result.label == "YCSB-BA"
+        assert result.makespan_ns > 0
+
+    def test_warmup_excluded_from_measurement(self):
+        runner = make_runner(warmup_ops=300, measure_ops=100)
+        workload = YcsbWorkload(500, mix=YCSB_BA, seed=1)
+        result = runner.measure_ycsb(workload)
+        # Stats were reset after warm-up: only measured ops counted.
+        assert result.stats.operations == 100
+
+    def test_extra_worker_counts(self):
+        runner = make_runner()
+        workload = YcsbWorkload(500, mix=YCSB_BA, seed=1)
+        result = runner.measure_ycsb(workload, extra_worker_counts=(16,))
+        assert set(result.throughput_by_workers) == {1, 16}
+        assert result.throughput_by_workers[16] >= result.throughput_by_workers[1]
+
+    def test_tpcc_run(self):
+        runner = make_runner()
+        workload = TpccWorkload(5.0, SCALE, seed=1)
+        result = runner.measure_tpcc(workload)
+        assert result.operations == 500
+        assert result.throughput > 0
+
+    def test_inclusivity_sampled(self):
+        runner = make_runner(inclusivity_sample_every=100)
+        workload = YcsbWorkload(500, mix=YCSB_RO, seed=1)
+        result = runner.measure_ycsb(workload)
+        assert 0.0 <= result.inclusivity <= 1.0
+        assert runner.bm.inclusivity.num_samples >= 5
+
+    def test_throughput_kops(self):
+        runner = make_runner()
+        workload = YcsbWorkload(500, mix=YCSB_RO, seed=1)
+        result = runner.measure_ycsb(workload)
+        assert result.throughput_kops == pytest.approx(result.throughput / 1e3)
+
+
+class TestWalIntegration:
+    def test_updates_generate_log_traffic(self):
+        runner = make_runner(with_wal=True)
+        workload = YcsbWorkload(500, mix=YCSB_BA, seed=1)
+        runner.measure_ycsb(workload)
+        assert runner.log is not None
+        assert runner.log.stats.records_appended > 0
+
+    def test_wal_can_be_disabled(self):
+        runner = make_runner(with_wal=False)
+        workload = YcsbWorkload(500, mix=YCSB_BA, seed=1)
+        runner.measure_ycsb(workload)
+        assert runner.log is None
+
+    def test_checkpointer_flushes_on_write_interval(self):
+        runner = make_runner(checkpoint_interval_ops=50)
+        workload = YcsbWorkload(500, mix=YCSB_BA, seed=1)
+        runner.measure_ycsb(workload)
+        assert runner.checkpointer.checkpoints_taken >= 1
+
+    def test_checkpointing_can_be_disabled(self):
+        runner = make_runner(checkpoint_interval_ops=None)
+        assert runner.checkpointer is None
+
+
+class TestPriming:
+    def test_priming_fills_buffers(self):
+        runner = make_runner(prime_buffers=True, warmup_ops=0, measure_ops=10)
+        workload = YcsbWorkload(2000, mix=YCSB_RO, skew=0.5, seed=1)
+        runner.measure_ycsb(workload)
+        assert len(runner.bm.pools[Tier.DRAM]) == 16   # full
+        assert len(runner.bm.pools[Tier.NVM]) == 64    # full
+
+    def test_priming_can_be_disabled(self):
+        runner = make_runner(prime_buffers=False, warmup_ops=0, measure_ops=10)
+        workload = YcsbWorkload(2000, mix=YCSB_RO, skew=0.5, seed=1)
+        runner.measure_ycsb(workload)
+        assert len(runner.bm.pools[Tier.DRAM]) < 16
+
+    def test_priming_skips_unreachable_dram(self):
+        """With D=0 the policy never populates DRAM; priming respects that."""
+        from repro.core.policy import MigrationPolicy
+
+        runner = make_runner(
+            policy=MigrationPolicy(0.0, 0.0, 1.0, 1.0),
+            prime_buffers=True, warmup_ops=0, measure_ops=10,
+        )
+        workload = YcsbWorkload(2000, mix=YCSB_RO, seed=1)
+        runner.measure_ycsb(workload)
+        assert len(runner.bm.pools[Tier.DRAM]) == 0
+        assert len(runner.bm.pools[Tier.NVM]) == 64
+
+    def test_priming_nvm_only_hierarchy(self):
+        hierarchy = StorageHierarchy(HierarchyShape(0, 8, 100), SCALE)
+        bm = BufferManager(hierarchy, NVM_SSD_POLICY)
+        runner = WorkloadRunner(bm, RunConfig(warmup_ops=0, measure_ops=10))
+        workload = YcsbWorkload(2000, mix=YCSB_RO, seed=1)
+        runner.measure_ycsb(workload)
+        assert len(bm.pools[Tier.NVM]) == 64
+
+
+class TestDatabaseAllocation:
+    def test_allocate_database_idempotent(self):
+        runner = make_runner()
+        runner.allocate_database(10)
+        runner.allocate_database(10)
+        assert len(runner.bm.store) == 10
+
+    def test_tpcc_growth_allocates_lazily(self):
+        runner = make_runner(warmup_ops=0, measure_ops=2000)
+        workload = TpccWorkload(2.0, SCALE, seed=1)
+        initial = workload.initial_pages
+        runner.measure_tpcc(workload)
+        assert len(runner.bm.store) >= initial

@@ -1,0 +1,111 @@
+"""Buffer manager running on a memory-mode hierarchy (Fig. 5's left bar).
+
+In memory mode the buffer manager sees a single big volatile "DRAM"
+device (NVM capacity, hardware-cached by real DRAM); persistence is
+unavailable, so the WAL falls back to group commit and every dirty page
+must flush to SSD.
+"""
+
+import pytest
+
+from repro.bench.harness import RunConfig, WorkloadRunner
+from repro.core.buffer_manager import BufferManager
+from repro.core.policy import DRAM_SSD_POLICY
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.memory_mode import MemoryModeDevice
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale, Tier
+from repro.workloads.ycsb import YCSB_BA, YCSB_RO, YcsbWorkload
+
+SCALE = SimulationScale(pages_per_gb=4)
+
+
+def make_memory_mode_bm(dram_gb=1.0, nvm_gb=4.0) -> BufferManager:
+    hierarchy = StorageHierarchy(
+        HierarchyShape(dram_gb, nvm_gb, 100.0), SCALE, memory_mode=True
+    )
+    return BufferManager(hierarchy, DRAM_SSD_POLICY)
+
+
+class TestStructure:
+    def test_single_buffer_with_nvm_capacity(self):
+        bm = make_memory_mode_bm(dram_gb=1.0, nvm_gb=4.0)
+        assert bm.has_dram and not bm.has_nvm
+        # The pool capacity is the NVM capacity (16 pages), not DRAM's 4.
+        assert bm.pools[Tier.DRAM].max_entries == 16
+
+    def test_device_is_memory_mode(self):
+        bm = make_memory_mode_bm()
+        assert isinstance(bm.hierarchy.device(Tier.DRAM), MemoryModeDevice)
+
+
+class TestBehaviour:
+    def test_reads_hit_the_l4_cache(self):
+        bm = make_memory_mode_bm()
+        page = bm.allocate_page()
+        bm.read(page)
+        device = bm.hierarchy.device(Tier.DRAM)
+        hits_before = device.stats.hits
+        for _ in range(5):
+            bm.read(page)
+        assert device.stats.hits > hits_before
+
+    def test_capacity_beyond_real_dram(self):
+        """More pages fit than the real DRAM holds — the paper's 140 GB
+        buffer on a 96 GB-DRAM machine."""
+        bm = make_memory_mode_bm(dram_gb=1.0, nvm_gb=4.0)
+        pages = [bm.allocate_page() for _ in range(16)]
+        for page in pages:
+            bm.read(page)
+        assert len(bm.pools[Tier.DRAM]) == 16
+        assert bm.stats.dram_evictions == 0
+
+    def test_nvm_write_volume_counts_cache_misses(self):
+        bm = make_memory_mode_bm()
+        pages = [bm.allocate_page() for _ in range(8)]
+        for page in pages:
+            bm.write(page, 0, 100)
+        # Memory-mode NVM traffic is reported as NVM write volume.
+        assert bm.nvm_write_volume_gb() >= 0.0
+
+    def test_dirty_pages_must_flush_to_ssd(self):
+        """Memory mode is volatile: checkpoints pay full SSD writes."""
+        bm = make_memory_mode_bm()
+        page = bm.allocate_page()
+        bm.write(page, 0, 100)
+        ssd_before = bm.hierarchy.device(Tier.SSD).snapshot_counters().write_ops
+        assert bm.flush_dirty_dram() == 1
+        assert bm.hierarchy.device(Tier.SSD).snapshot_counters().write_ops \
+            == ssd_before + 1
+
+
+class TestEndToEnd:
+    def test_cacheable_vs_not(self):
+        """The Fig. 5 mechanism: throughput collapses once the database
+        outgrows the memory-mode buffer."""
+
+        def run(db_gb):
+            hierarchy = StorageHierarchy(
+                HierarchyShape(2.0, 8.0, 200.0), SCALE, memory_mode=True
+            )
+            bm = BufferManager(hierarchy, DRAM_SSD_POLICY)
+            workload = YcsbWorkload(SCALE.pages(db_gb) * 16, mix=YCSB_RO,
+                                    skew=0.3, seed=3)
+            runner = WorkloadRunner(bm, RunConfig(warmup_ops=2_000,
+                                                  measure_ops=4_000))
+            return runner.measure_ycsb(workload).throughput
+
+        cacheable = run(db_gb=4.0)     # fits the 8 GB buffer
+        thrashing = run(db_gb=40.0)    # 5x the buffer
+        assert cacheable > 3 * thrashing
+
+    def test_group_commit_used_for_updates(self):
+        hierarchy = StorageHierarchy(
+            HierarchyShape(2.0, 8.0, 200.0), SCALE, memory_mode=True
+        )
+        bm = BufferManager(hierarchy, DRAM_SSD_POLICY)
+        workload = YcsbWorkload(200, mix=YCSB_BA, seed=3)
+        runner = WorkloadRunner(bm, RunConfig(warmup_ops=100, measure_ops=300))
+        runner.measure_ycsb(workload)
+        assert runner.log is not None
+        assert not runner.log.uses_nvm  # volatile: no NVM log buffer

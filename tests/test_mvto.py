@@ -1,0 +1,237 @@
+"""MVTO concurrency control: visibility, conflicts, GC."""
+
+import pytest
+
+from repro.txn.mvto import INFINITY_TS, MvtoStore, Version, VersionChain, run_transaction
+from repro.txn.transaction import TimestampOracle, TransactionAborted, TxnState
+
+
+@pytest.fixture
+def store() -> MvtoStore:
+    return MvtoStore()
+
+
+class TestTimestampOracle:
+    def test_monotonic(self):
+        oracle = TimestampOracle()
+        first = oracle.next()
+        second = oracle.next()
+        assert second == first + 1
+        assert oracle.current == second
+
+
+class TestBasicVisibility:
+    def test_committed_write_visible_to_later_txn(self, store):
+        t1 = store.begin()
+        store.write(t1, "k", 1)
+        store.commit(t1)
+        t2 = store.begin()
+        assert store.read(t2, "k") == 1
+
+    def test_read_own_staged_write(self, store):
+        txn = store.begin()
+        store.write(txn, "k", 42)
+        assert store.read(txn, "k") == 42
+
+    def test_missing_key(self, store):
+        txn = store.begin()
+        with pytest.raises(KeyError):
+            store.read(txn, "missing")
+
+    def test_uncommitted_write_invisible_after_abort(self, store):
+        t1 = store.begin()
+        store.write(t1, "k", 1)
+        store.abort(t1)
+        t2 = store.begin()
+        with pytest.raises(KeyError):
+            store.read(t2, "k")
+
+    def test_old_snapshot_sees_old_version(self, store):
+        t1 = store.begin()
+        store.write(t1, "k", 1)
+        store.commit(t1)
+        old_reader = store.begin()          # ts before the next writer
+        t2 = store.begin()
+        store.write(t2, "k", 2)
+        store.commit(t2)
+        # The older reader still sees the version visible at its ts.
+        assert store.read(old_reader, "k") == 1
+        fresh = store.begin()
+        assert store.read(fresh, "k") == 2
+
+    def test_version_chain_grows_and_is_ordered(self, store):
+        for value in range(3):
+            txn = store.begin()
+            store.write(txn, "k", value)
+            store.commit(txn)
+        assert store.version_count("k") == 3
+        assert store.get_committed("k") == 2
+
+
+class TestConflicts:
+    def test_write_write_conflict_aborts(self, store):
+        t1 = store.begin()
+        t2 = store.begin()
+        store.write(t1, "k", 1)
+        store.commit(t1)
+        t3 = store.begin()
+        store.write(t3, "k", 3)  # locks newest version
+        with pytest.raises(TransactionAborted):
+            store.write(t2, "k", 2)
+        store.abort(t2)
+        store.commit(t3)
+        assert store.get_committed("k") == 3
+
+    def test_stale_write_after_later_read_aborts(self, store):
+        init = store.begin()
+        store.write(init, "k", 0)
+        store.commit(init)
+        old_writer = store.begin()
+        young_reader = store.begin()
+        assert store.read(young_reader, "k") == 0
+        # The younger reader has seen the newest version: the older
+        # writer may no longer install a version beneath it.
+        with pytest.raises(TransactionAborted):
+            store.write(old_writer, "k", 1)
+        store.abort(old_writer)
+
+    def test_read_of_locked_version_aborts(self, store):
+        init = store.begin()
+        store.write(init, "k", 0)
+        store.commit(init)
+        writer = store.begin()
+        store.write(writer, "k", 1)
+        reader = store.begin()
+        with pytest.raises(TransactionAborted):
+            store.read(reader, "k")
+        store.abort(reader)
+        store.commit(writer)
+
+    def test_operations_on_finished_txn_rejected(self, store):
+        txn = store.begin()
+        store.commit(txn)
+        with pytest.raises(TransactionAborted):
+            store.write(txn, "k", 1)
+
+    def test_counters(self, store):
+        t1 = store.begin()
+        store.commit(t1)
+        t2 = store.begin()
+        store.abort(t2)
+        assert store.commits == 1
+        assert store.aborts == 1
+
+
+class TestDelete:
+    def test_delete_is_tombstone(self, store):
+        t1 = store.begin()
+        store.write(t1, "k", 1)
+        store.commit(t1)
+        t2 = store.begin()
+        store.delete(t2, "k")
+        store.commit(t2)
+        t3 = store.begin()
+        assert store.read(t3, "k") is None
+
+
+class TestGarbageCollection:
+    def test_prunes_invisible_versions(self, store):
+        for value in range(5):
+            txn = store.begin()
+            store.write(txn, "k", value)
+            store.commit(txn)
+        assert store.version_count("k") == 5
+        removed = store.garbage_collect()
+        assert removed == 4
+        assert store.version_count("k") == 1
+        assert store.get_committed("k") == 4
+
+    def test_active_txn_protects_versions(self, store):
+        t1 = store.begin()
+        store.write(t1, "k", 1)
+        store.commit(t1)
+        old_reader = store.begin()  # pins the horizon
+        t2 = store.begin()
+        store.write(t2, "k", 2)
+        store.commit(t2)
+        store.garbage_collect()
+        # The old reader's visible version must survive.
+        assert store.read(old_reader, "k") == 1
+        store.commit(old_reader)
+
+    def test_oldest_active_timestamp(self, store):
+        txn = store.begin()
+        assert store.oldest_active_timestamp() == txn.timestamp
+        store.commit(txn)
+        assert store.oldest_active_timestamp() > txn.timestamp
+
+
+class TestVersionChainUnit:
+    def test_visible_version_selection(self):
+        chain = VersionChain()
+        chain.versions = [
+            Version("new", begin_ts=10),
+            Version("old", begin_ts=1, end_ts=10),
+        ]
+        assert chain.visible_version(5).value == "old"
+        assert chain.visible_version(10).value == "new"
+        assert chain.visible_version(0) is None
+
+    def test_prune_keeps_visible_prefix(self):
+        chain = VersionChain()
+        chain.versions = [
+            Version("c", begin_ts=30),
+            Version("b", begin_ts=20, end_ts=30),
+            Version("a", begin_ts=10, end_ts=20),
+        ]
+        assert chain.prune(horizon=25) == 1  # "a" dropped
+        assert [v.value for v in chain.versions] == ["c", "b"]
+
+    def test_prune_keeps_all_when_horizon_old(self):
+        chain = VersionChain()
+        chain.versions = [Version("b", begin_ts=20), Version("a", begin_ts=10, end_ts=20)]
+        assert chain.prune(horizon=10) == 0
+
+
+class TestRunTransaction:
+    def test_commits_result(self, store):
+        result = run_transaction(store, lambda txn: store.write(txn, "k", 7) or "done")
+        assert result == "done"
+        assert store.get_committed("k") == 7
+
+    def test_retries_on_conflict(self, store):
+        init = store.begin()
+        store.write(init, "k", 0)
+        store.commit(init)
+
+        blocker = store.begin()
+        store.write(blocker, "k", 99)
+        attempts = []
+
+        def body(txn):
+            attempts.append(txn.timestamp)
+            if len(attempts) == 1:
+                # First attempt collides with the blocker, then we
+                # release it so the retry can succeed.
+                try:
+                    store.write(txn, "k", 1)
+                finally:
+                    store.commit(blocker)
+            else:
+                store.write(txn, "k", 1)
+            return "ok"
+
+        assert run_transaction(store, body) == "ok"
+        assert len(attempts) == 2
+        assert store.get_committed("k") == 1
+
+    def test_gives_up_after_retries(self, store):
+        def always_fails(txn):
+            raise TransactionAborted(txn.txn_id, "synthetic")
+
+        with pytest.raises(TransactionAborted):
+            run_transaction(store, always_fails, max_retries=3)
+
+    def test_non_abort_exceptions_propagate(self, store):
+        with pytest.raises(ZeroDivisionError):
+            run_transaction(store, lambda txn: 1 / 0)

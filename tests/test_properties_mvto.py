@@ -1,0 +1,142 @@
+"""Model-based property tests for MVTO.
+
+A hypothesis state machine runs random transactional histories through
+:class:`~repro.txn.mvto.MvtoStore` — interleaved begins, reads, writes,
+commits, and aborts across several concurrent transactions — and checks
+against an oracle:
+
+* committed state always equals the model built from commit order;
+* a transaction never observes another transaction's uncommitted write;
+* aborted transactions leave no trace;
+* garbage collection never changes the visible state.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.txn.mvto import MvtoStore, _DeferredAbort
+from repro.txn.transaction import Transaction, TransactionAborted, TxnState
+
+KEYS = ["a", "b", "c"]
+MAX_LIVE = 4
+
+
+class MvtoMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = MvtoStore()
+        self.live: list[Transaction] = []
+        #: Oracle: committed value per key, updated at commit time.
+        self.committed: dict[str, object] = {}
+        #: Staged writes per live transaction.
+        self.staged: dict[int, dict[str, object]] = {}
+        self._counter = 0
+
+    def _abort(self, txn: Transaction, reason: str) -> None:
+        if txn.is_active:
+            self.store.abort(txn, reason)
+        self.live.remove(txn)
+        self.staged.pop(txn.txn_id, None)
+
+    # ------------------------------------------------------------------
+    @rule()
+    def begin(self):
+        if len(self.live) >= MAX_LIVE:
+            return
+        txn = self.store.begin()
+        self.live.append(txn)
+        self.staged[txn.txn_id] = {}
+
+    @rule(index=st.integers(0, MAX_LIVE - 1), key=st.sampled_from(KEYS))
+    def write(self, index, key):
+        if index >= len(self.live):
+            return
+        txn = self.live[index]
+        self._counter += 1
+        value = (txn.txn_id, self._counter)
+        try:
+            self.store.write(txn, key, value)
+        except (TransactionAborted, _DeferredAbort) as exc:
+            self._abort(txn, str(exc))
+            return
+        self.staged[txn.txn_id][key] = value
+
+    @rule(index=st.integers(0, MAX_LIVE - 1), key=st.sampled_from(KEYS))
+    def read(self, index, key):
+        if index >= len(self.live):
+            return
+        txn = self.live[index]
+        try:
+            value = self.store.read(txn, key)
+        except KeyError:
+            # Key unborn at this snapshot: it must not be one of the
+            # transaction's own staged writes.
+            assert key not in self.staged[txn.txn_id]
+            return
+        except (TransactionAborted, _DeferredAbort) as exc:
+            self._abort(txn, str(exc))
+            return
+        if key in self.staged[txn.txn_id]:
+            assert value == self.staged[txn.txn_id][key]
+        else:
+            # Values are tagged with their writer; the writer must have
+            # committed (no dirty reads of other transactions).
+            writer = value[0]
+            assert all(writer != other.txn_id for other in self.live
+                       if other is not txn), "dirty read"
+
+    @rule(index=st.integers(0, MAX_LIVE - 1))
+    def commit(self, index):
+        if index >= len(self.live):
+            return
+        txn = self.live[index]
+        try:
+            self.store.commit(txn)
+        except (TransactionAborted, _DeferredAbort) as exc:
+            self._abort(txn, str(exc))
+            return
+        self.committed.update(self.staged[txn.txn_id])
+        self.live.remove(txn)
+        self.staged.pop(txn.txn_id, None)
+
+    @rule(index=st.integers(0, MAX_LIVE - 1))
+    def abort(self, index):
+        if index >= len(self.live):
+            return
+        self._abort(self.live[index], "user abort")
+
+    @rule()
+    def garbage_collect(self):
+        self.store.garbage_collect()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def committed_state_matches_oracle(self):
+        # With no live writers of a key, a fresh snapshot must see the
+        # oracle's committed value.
+        for key, expected in self.committed.items():
+            writers = {
+                t.txn_id for t in self.live if key in self.staged[t.txn_id]
+            }
+            if writers:
+                continue  # a live writer may hold the newest version locked
+            try:
+                value = self.store.get_committed(key)
+            except KeyError:  # pragma: no cover - would be a real bug
+                raise AssertionError(f"committed key {key!r} vanished")
+            assert value == expected, (
+                f"key {key!r}: committed {expected} but snapshot sees {value}"
+            )
+
+    @invariant()
+    def live_transactions_are_active(self):
+        for txn in self.live:
+            assert txn.state is TxnState.ACTIVE
+
+
+MvtoMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None,
+)
+TestMvtoStateMachine = MvtoMachine.TestCase

@@ -1,0 +1,102 @@
+"""Experiment result containers and rendering."""
+
+import pytest
+
+from repro.bench.reporting import ExperimentResult, Series
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        series = Series("s")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        assert series.xs == [1, 2]
+        assert series.ys == [10.0, 20.0]
+        assert series.y_at(2) == 20.0
+
+    def test_y_at_missing(self):
+        with pytest.raises(KeyError):
+            Series("s").y_at(1)
+
+    def test_peak_x(self):
+        series = Series("s")
+        series.add("a", 1.0)
+        series.add("b", 5.0)
+        series.add("c", 3.0)
+        assert series.peak_x == "b"
+
+    def test_peak_of_empty(self):
+        with pytest.raises(ValueError):
+            Series("s").peak_x
+
+
+class TestExperimentResult:
+    def make_result(self) -> ExperimentResult:
+        result = ExperimentResult("figX", "A Test Figure")
+        series = result.new_series("line-1")
+        series.add(0.0, 100.0)
+        series.add(1.0, 200.0)
+        other = result.new_series("line-2")
+        other.add(0.0, 50.0)
+        result.note("a note")
+        result.metadata["workers"] = 16
+        return result
+
+    def test_render_contains_everything(self):
+        text = self.make_result().render()
+        assert "figX" in text
+        assert "line-1" in text
+        assert "200.0" in text
+        assert "a note" in text
+        assert "workers=16" in text
+
+    def test_render_handles_sparse_series(self):
+        # line-2 has no point at x=1.0; render must not crash.
+        text = self.make_result().render()
+        assert "line-2" in text
+
+    def test_render_empty(self):
+        text = ExperimentResult("e", "Empty").render()
+        assert "Empty" in text
+
+    def test_json_roundtrip(self, tmp_path):
+        result = self.make_result()
+        path = result.save_json(tmp_path)
+        loaded = ExperimentResult.load_json(path)
+        assert loaded.experiment_id == "figX"
+        assert loaded.series["line-1"].y_at(1.0) == 200.0
+        assert loaded.notes == ["a note"]
+        assert loaded.metadata["workers"] == 16
+
+    def test_to_dict(self):
+        payload = self.make_result().to_dict()
+        assert payload["series"]["line-1"] == [[0.0, 100.0], [1.0, 200.0]]
+
+
+class TestAsciiChart:
+    def test_renders_ramp(self):
+        result = ExperimentResult("e", "t")
+        series = result.new_series("ramp")
+        for i in range(20):
+            series.add(i, float(i))
+        chart = result.ascii_chart("ramp", width=20, height=5)
+        lines = chart.splitlines()
+        assert "ramp" in lines[0]
+        assert len(lines) == 6
+        # The last column is taller than the first.
+        assert lines[-1][0] == "█"          # baseline filled everywhere
+        assert lines[1][-1] == "█"          # peak reaches the top row
+        assert lines[1][0] == " "           # start does not
+
+    def test_empty_series(self):
+        result = ExperimentResult("e", "t")
+        result.new_series("empty")
+        assert "(empty)" in result.ascii_chart("empty")
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        result = ExperimentResult("e", "t")
+        series = result.new_series("flat")
+        for i in range(5):
+            series.add(i, 7.0)
+        chart = result.ascii_chart("flat", width=10, height=4)
+        assert "flat" in chart

@@ -1,0 +1,53 @@
+"""Meta-test of the simulation methodology: ratio results are
+scale-invariant.
+
+Every experiment in the paper is a *ratio* experiment (database size
+relative to buffer capacities).  DESIGN.md's central claim is that
+running them at a reduced page scale preserves the shape, so the same
+experiment at two different scales must produce the same qualitative
+answer and similar speedup ratios.
+"""
+
+import pytest
+
+from repro.bench.harness import RunConfig, WorkloadRunner
+from repro.core.buffer_manager import BufferManager
+from repro.core.policy import MigrationPolicy
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale
+from repro.workloads.ycsb import YCSB_RO, YcsbWorkload
+
+SHAPE = HierarchyShape(dram_gb=12.5, nvm_gb=50.0, ssd_gb=200.0)
+DB_GB = 100.0
+
+
+def throughput_at(scale: SimulationScale, d: float) -> float:
+    policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0)
+    hierarchy = StorageHierarchy(SHAPE, scale)
+    bm = BufferManager(hierarchy, policy)
+    workload = YcsbWorkload(num_tuples=scale.pages(DB_GB) * 16, mix=YCSB_RO,
+                            skew=0.3, seed=3)
+    runner = WorkloadRunner(bm, RunConfig(warmup_ops=6_000, measure_ops=12_000))
+    return runner.measure_ycsb(workload).throughput
+
+
+class TestScaleInvariance:
+    def test_lazy_vs_eager_ratio_stable_across_scales(self):
+        coarse = SimulationScale(pages_per_gb=16)
+        fine = SimulationScale(pages_per_gb=32)
+        ratio_coarse = throughput_at(coarse, 0.01) / throughput_at(coarse, 1.0)
+        ratio_fine = throughput_at(fine, 0.01) / throughput_at(fine, 1.0)
+        # The qualitative winner is identical...
+        assert ratio_coarse > 1.0
+        assert ratio_fine > 1.0
+        # ...and the speedup factors agree within a modest tolerance.
+        assert ratio_coarse == pytest.approx(ratio_fine, rel=0.35)
+
+    def test_absolute_throughput_similar_across_scales(self):
+        """Per-operation service demands do not depend on the scale, so
+        absolute simulated throughput is also comparable (same hit
+        ratios, smaller page counts)."""
+        coarse = throughput_at(SimulationScale(pages_per_gb=16), 0.01)
+        fine = throughput_at(SimulationScale(pages_per_gb=32), 0.01)
+        assert coarse == pytest.approx(fine, rel=0.5)

@@ -1,0 +1,75 @@
+"""The SSD-resident database store."""
+
+import pytest
+
+from repro.core.ssd_store import SsdStore
+from repro.hardware.device import Device
+from repro.hardware.specs import PAGE_SIZE, SSD_SPEC
+from repro.pages.page import Page
+
+
+@pytest.fixture
+def store() -> SsdStore:
+    return SsdStore(Device(SSD_SPEC))
+
+
+class TestAllocation:
+    def test_auto_ids_are_unique(self, store):
+        ids = {store.allocate().page_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_explicit_id(self, store):
+        page = store.allocate(7)
+        assert page.page_id == 7
+        assert store.exists(7)
+
+    def test_duplicate_rejected(self, store):
+        store.allocate(7)
+        with pytest.raises(ValueError):
+            store.allocate(7)
+
+    def test_auto_id_skips_explicit(self, store):
+        store.allocate(0)
+        page = store.allocate()
+        assert page.page_id != 0
+
+    def test_len(self, store):
+        store.allocate()
+        store.allocate()
+        assert len(store) == 2
+        assert set(store.page_ids()) == {0, 1}
+
+
+class TestIo:
+    def test_read_charges_full_page(self, store):
+        store.allocate(0)
+        before = store.device.snapshot_counters().read_bytes
+        store.read_page(0)
+        assert store.device.snapshot_counters().read_bytes - before == PAGE_SIZE
+
+    def test_read_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.read_page(42)
+
+    def test_write_persists_content(self, store):
+        store.allocate(0)
+        copy = Page(0)
+        copy.write_record(3, b"payload")
+        store.write_page(copy)
+        assert store.peek(0).read_record(3) == b"payload"
+
+    def test_write_unknown_page_raises(self, store):
+        with pytest.raises(KeyError):
+            store.write_page(Page(42))
+
+    def test_peek_charges_nothing(self, store):
+        store.allocate(0)
+        before = store.device.snapshot_counters().read_ops
+        store.peek(0)
+        assert store.device.snapshot_counters().read_ops == before
+
+    def test_drop(self, store):
+        store.allocate(0)
+        assert store.drop(0)
+        assert not store.drop(0)
+        assert not store.exists(0)

@@ -1,0 +1,62 @@
+"""Table abstraction: tuple placement and RID assignment."""
+
+import itertools
+
+import pytest
+
+from repro.engine.table import RecordId, Table
+
+
+class TestRecordId:
+    def test_offset(self):
+        assert RecordId(page_id=3, slot=2).offset(tuple_size=1024) == 2048
+
+    def test_hashable(self):
+        assert RecordId(1, 2) == RecordId(1, 2)
+        assert len({RecordId(1, 2), RecordId(1, 2), RecordId(1, 3)}) == 2
+
+
+class TestTable:
+    def test_tuples_per_page(self):
+        assert Table("t", tuple_size=1024).tuples_per_page == 16
+        assert Table("t", tuple_size=4096).tuples_per_page == 4
+
+    def test_invalid_tuple_size(self):
+        with pytest.raises(ValueError):
+            Table("t", tuple_size=0)
+        with pytest.raises(ValueError):
+            Table("t", tuple_size=20_000)
+
+    def test_rid_allocation_packs_pages(self):
+        table = Table("t", tuple_size=4096)  # 4 per page
+        counter = itertools.count(100)
+        rids = [table.allocate_rid(lambda: next(counter)) for _ in range(10)]
+        assert rids[0] == RecordId(100, 0)
+        assert rids[3] == RecordId(100, 3)
+        assert rids[4] == RecordId(101, 0)  # new page after 4 slots
+        assert table.tuple_count == 10
+
+    def test_allocator_called_once_per_page(self):
+        table = Table("t", tuple_size=4096)
+        calls = []
+
+        def alloc():
+            calls.append(len(calls))
+            return len(calls)
+
+        for _ in range(9):
+            table.allocate_rid(alloc)
+        assert len(calls) == 3  # ceil(9 / 4)
+
+    def test_index_integration(self):
+        table = Table("t", tuple_size=1024)
+        rid = table.allocate_rid(lambda: 5)
+        table.index.insert("key", rid)
+        assert table.lookup("key") == rid
+        assert table.lookup("missing") is None
+
+    def test_mvto_key_namespacing(self):
+        a = Table("a")
+        b = Table("b")
+        assert a.mvto_key(1) != b.mvto_key(1)
+        assert a.mvto_key(1) == ("a", 1)

@@ -1,0 +1,218 @@
+"""Engine-level TPC-C: transaction logic and consistency conditions."""
+
+import pytest
+
+from repro.core.policy import SPITFIRE_EAGER, SPITFIRE_LAZY
+from repro.engine.engine import StorageEngine
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale
+from repro.wal.recovery import RecoveryManager
+from repro.workloads.tpcc_engine import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    ITEMS,
+    TpccEngine,
+    _decode,
+)
+
+
+def make_tpcc(warehouses=1, policy=SPITFIRE_LAZY, seed=3) -> TpccEngine:
+    hierarchy = StorageHierarchy(
+        HierarchyShape(2.0, 8.0, 100.0), SimulationScale(pages_per_gb=8)
+    )
+    engine = StorageEngine(hierarchy, policy)
+    tpcc = TpccEngine(engine, warehouses=warehouses, seed=seed)
+    tpcc.load()
+    return tpcc
+
+
+@pytest.fixture(scope="module")
+def loaded() -> TpccEngine:
+    return make_tpcc(warehouses=2)
+
+
+class TestPopulation:
+    def test_cardinalities(self, loaded: TpccEngine):
+        engine = loaded.engine
+        assert engine.table("item").tuple_count == ITEMS
+        assert engine.table("warehouse").tuple_count == 2
+        assert engine.table("district").tuple_count == 2 * DISTRICTS_PER_WAREHOUSE
+        assert engine.table("customer").tuple_count == (
+            2 * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT
+        )
+        assert engine.table("stock").tuple_count == 2 * ITEMS
+
+    def test_initial_consistency(self, loaded: TpccEngine):
+        loaded.check_consistency()
+
+    def test_invalid_warehouses(self):
+        hierarchy = StorageHierarchy(
+            HierarchyShape(2, 8, 100), SimulationScale(pages_per_gb=8)
+        )
+        engine = StorageEngine(hierarchy, SPITFIRE_LAZY)
+        with pytest.raises(ValueError):
+            TpccEngine(engine, warehouses=0)
+
+
+class TestNewOrder:
+    def test_creates_order_and_lines(self):
+        tpcc = make_tpcc()
+        order_id = tpcc.txn_new_order()
+        engine = tpcc.engine
+
+        def check(txn):
+            found = False
+            for w in range(tpcc.warehouses):
+                for d in range(DISTRICTS_PER_WAREHOUSE):
+                    raw = engine.read(txn, "orders", (w, d, order_id))
+                    if raw is None:
+                        continue
+                    order = _decode(raw)
+                    assert 5 <= order["lines"] <= 15
+                    for number in range(order["lines"]):
+                        line = engine.read(txn, "order_line",
+                                           (w, d, order_id, number))
+                        assert line is not None
+                    assert engine.read(txn, "new_orders", (w, d, order_id)) \
+                        is not None
+                    found = True
+            assert found
+
+        engine.execute(check)
+
+    def test_bumps_next_order_id(self):
+        tpcc = make_tpcc(seed=5)
+        first = tpcc.txn_new_order()
+        # Run a few; district counters must strictly increase per district.
+        for _ in range(5):
+            tpcc.txn_new_order()
+        engine = tpcc.engine
+
+        def check(txn):
+            total_orders = 0
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                district = _decode(engine.read(txn, "district", (0, d)))
+                total_orders += district["next_o_id"] - 1
+            assert total_orders == 6
+
+        engine.execute(check)
+        assert first >= 1
+
+    def test_updates_stock(self):
+        tpcc = make_tpcc(seed=6)
+        before = self._stock_ytd(tpcc)
+        tpcc.txn_new_order()
+        assert self._stock_ytd(tpcc) > before
+
+    @staticmethod
+    def _stock_ytd(tpcc: TpccEngine) -> int:
+        engine = tpcc.engine
+
+        def body(txn):
+            return sum(
+                _decode(engine.read(txn, "stock", (0, item)))["ytd"]
+                for item in range(ITEMS)
+            )
+
+        return engine.execute(body)
+
+
+class TestPayment:
+    def test_ytd_flows(self):
+        tpcc = make_tpcc(seed=7)
+        tpcc.txn_payment()
+        engine = tpcc.engine
+
+        def check(txn):
+            warehouse = _decode(engine.read(txn, "warehouse", 0))
+            districts = sum(
+                _decode(engine.read(txn, "district", (0, d)))["ytd"]
+                for d in range(DISTRICTS_PER_WAREHOUSE)
+            )
+            assert warehouse["ytd"] == districts > 0
+
+        engine.execute(check)
+
+    def test_history_row_created(self):
+        tpcc = make_tpcc(seed=8)
+        tpcc.txn_payment()
+        assert tpcc.engine.table("history").tuple_count == 1
+
+
+class TestReadOnlyTransactions:
+    def test_order_status_after_orders(self):
+        tpcc = make_tpcc(seed=9)
+        for _ in range(10):
+            tpcc.txn_new_order()
+        # order_status returns the order dict or None; it must not raise.
+        for _ in range(5):
+            result = tpcc.txn_order_status()
+            assert result is None or "lines" in result
+
+    def test_stock_level_counts(self):
+        tpcc = make_tpcc(seed=10)
+        for _ in range(5):
+            tpcc.txn_new_order()
+        low = tpcc.txn_stock_level()
+        assert isinstance(low, int) and low >= 0
+
+
+class TestDelivery:
+    def test_consumes_new_orders(self):
+        tpcc = make_tpcc(seed=11)
+        for _ in range(8):
+            tpcc.txn_new_order()
+        pending_before = tpcc.engine.table("new_orders").index.__len__()
+        delivered = tpcc.txn_delivery()
+        assert delivered >= 1
+        pending_after = tpcc.engine.table("new_orders").index.__len__()
+        assert pending_after == pending_before - delivered
+
+    def test_sets_carrier(self):
+        tpcc = make_tpcc(seed=12)
+        order_id = tpcc.txn_new_order()
+        tpcc.txn_delivery()
+        engine = tpcc.engine
+
+        def check(txn):
+            carriers = []
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                raw = engine.read(txn, "orders", (0, d, order_id))
+                if raw is not None:
+                    carriers.append(_decode(raw)["carrier"])
+            assert any(c is not None for c in carriers)
+
+        engine.execute(check)
+
+
+class TestMixedRun:
+    def test_consistency_after_mixed_workload(self):
+        tpcc = make_tpcc(warehouses=2, seed=13)
+        kinds = set()
+        for _ in range(150):
+            kinds.add(tpcc.run_one())
+        assert tpcc.stats.total_committed > 100
+        assert {"new_order", "payment"} <= kinds
+        tpcc.check_consistency()
+
+    def test_consistency_survives_crash_recovery(self):
+        tpcc = make_tpcc(warehouses=1, seed=14, policy=SPITFIRE_EAGER)
+        for _ in range(60):
+            tpcc.run_one()
+        engine = tpcc.engine
+        engine.log.flush()
+        engine.bm.flush_all()
+        engine.simulate_crash()
+        RecoveryManager(engine.bm, engine.log).recover()
+        # The W_YTD = Σ D_YTD invariant must hold on the durable state.
+        warehouses = {}
+        districts = {}
+        for w in range(tpcc.warehouses):
+            raw = engine.committed_value("warehouse", w)
+            warehouses[w] = _decode(raw)["ytd"]
+            districts[w] = 0
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                raw = engine.committed_value("district", (w, d))
+                districts[w] += _decode(raw)["ytd"]
+        assert warehouses == districts

@@ -1,0 +1,94 @@
+"""Additional WAL record and log-manager edge cases."""
+
+import pytest
+
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale
+from repro.wal.log_manager import LogManager
+from repro.wal.records import LogRecord, LogRecordType
+
+SCALE = SimulationScale(pages_per_gb=4)
+
+
+def make_log(nvm: bool = True, **kwargs) -> LogManager:
+    shape = HierarchyShape(1, 4 if nvm else 0, 100)
+    return LogManager(StorageHierarchy(shape, SCALE), **kwargs)
+
+
+class TestClrRecords:
+    def test_clr_carries_undo_next(self):
+        record = LogRecord(5, LogRecordType.CLR, txn_id=1, undo_next_lsn=3)
+        assert record.undo_next_lsn == 3
+        assert record.is_redoable
+        assert not record.is_undoable
+
+    def test_checkpoint_records_are_neither(self):
+        for kind in (LogRecordType.CHECKPOINT_BEGIN,
+                     LogRecordType.CHECKPOINT_END):
+            record = LogRecord(1, kind, txn_id=0)
+            assert not record.is_redoable
+            assert not record.is_undoable
+
+
+class TestLogStats:
+    def test_bytes_appended_accumulate(self):
+        log = make_log()
+        log.append(LogRecordType.UPDATE, txn_id=1, after=b"x" * 100)
+        log.append(LogRecordType.UPDATE, txn_id=1, before=b"y" * 50)
+        assert log.stats.records_appended == 2
+        assert log.stats.bytes_appended == (48 + 100) + (48 + 50)
+
+    def test_forced_flush_counted(self):
+        log = make_log()
+        log.flush()
+        log.flush()
+        assert log.stats.forced_flushes == 2
+
+
+class TestDurableLsn:
+    def test_nvm_mode_tracks_buffered_records(self):
+        log = make_log()
+        record = log.append(LogRecordType.BEGIN, txn_id=1)
+        assert log.durable_lsn == record.lsn
+
+    def test_nvm_mode_after_drain(self):
+        log = make_log(nvm_buffer_bytes=1)
+        record = log.append(LogRecordType.BEGIN, txn_id=1)
+        assert log.durable_lsn == record.lsn  # drained to SSD immediately
+
+    def test_empty_log(self):
+        assert make_log().durable_lsn == 0
+        assert make_log(nvm=False).durable_lsn == 0
+
+    def test_next_lsn_starts_at_one(self):
+        assert make_log().next_lsn == 1
+
+
+class TestInterleavedTransactions:
+    def test_records_for_txn_filters(self):
+        log = make_log()
+        log.append(LogRecordType.BEGIN, txn_id=1)
+        log.append(LogRecordType.BEGIN, txn_id=2)
+        log.append(LogRecordType.UPDATE, txn_id=1, page_id=0)
+        log.append(LogRecordType.UPDATE, txn_id=2, page_id=1)
+        log.commit(txn_id=2)
+        assert [r.txn_id for r in log.records_for_txn(2)] == [2, 2, 2]
+        assert len(log.records_for_txn(1)) == 2
+
+    def test_prev_lsn_chain_walkable(self):
+        log = make_log()
+        begin = log.append(LogRecordType.BEGIN, txn_id=9)
+        first = log.append(LogRecordType.UPDATE, txn_id=9, page_id=0,
+                           prev_lsn=begin.lsn)
+        second = log.append(LogRecordType.UPDATE, txn_id=9, page_id=1,
+                            prev_lsn=first.lsn)
+        commit = log.commit(txn_id=9, prev_lsn=second.lsn)
+        # Walk the backward chain from the commit record.
+        by_lsn = {r.lsn: r for r in log.recovered_records()}
+        chain = []
+        cursor = commit.prev_lsn
+        while cursor != -1:
+            chain.append(cursor)
+            cursor = by_lsn[cursor].prev_lsn
+        assert chain == [second.lsn, first.lsn, begin.lsn]
