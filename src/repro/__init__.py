@@ -20,17 +20,23 @@ Quick start::
 
 from .core import (
     AccessResult,
+    BufferEvent,
     BufferManager,
     BufferManagerConfig,
     BufferStats,
     DRAM_SSD_POLICY,
+    EventBus,
+    EventType,
     HYMEM_POLICY,
+    MigrationEngine,
     MigrationPolicy,
     NVM_SSD_POLICY,
     POLICY_PRESETS,
     SPITFIRE_EAGER,
     SPITFIRE_LAZY,
     NvmAdmission,
+    TierChain,
+    TierNode,
     inclusivity_ratio,
     make_hymem,
 )
@@ -53,14 +59,18 @@ __all__ = [
     "AccessResult",
     "AdaptiveController",
     "AnnealingSchedule",
+    "BufferEvent",
     "BufferManager",
     "BufferManagerConfig",
     "BufferStats",
     "DEFAULT_SCALE",
     "DRAM_SSD_POLICY",
     "EngineConfig",
+    "EventBus",
+    "EventType",
     "HierarchyShape",
     "HYMEM_POLICY",
+    "MigrationEngine",
     "MigrationPolicy",
     "NVM_SSD_POLICY",
     "NvmAdmission",
@@ -72,6 +82,8 @@ __all__ = [
     "StorageEngine",
     "StorageHierarchy",
     "Tier",
+    "TierChain",
+    "TierNode",
     "TpccWorkload",
     "YCSB_BA",
     "YCSB_RO",

@@ -1,9 +1,11 @@
 """Benchmark harness and per-figure experiment reproductions."""
 
+from .event_trace import EventTraceRecorder
 from .harness import RunConfig, RunResult, WorkloadRunner
 from .reporting import ExperimentResult, Series
 
 __all__ = [
+    "EventTraceRecorder",
     "ExperimentResult",
     "RunConfig",
     "RunResult",

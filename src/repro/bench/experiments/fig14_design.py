@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from ...core.buffer_manager import BufferManager
 from ...design.grid_search import (
-    FIG14_DRAM_SIZES_GB,
-    FIG14_NVM_SIZES_GB,
     enumerate_shapes,
     grid_search,
 )

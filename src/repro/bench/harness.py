@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from ..core.buffer_manager import BufferManager
 from ..core.stats import BufferStats
 from ..hardware.specs import Tier
+from .event_trace import EventTraceRecorder
 from ..wal.checkpoint import Checkpointer
 from ..wal.log_manager import LogManager
 from ..wal.records import LogRecordType
@@ -49,6 +50,9 @@ class RunConfig:
     checkpoint_interval_ops: int | None = 2_000
     #: Operations between inclusivity samples.
     inclusivity_sample_every: int = 2_000
+    #: Record a per-edge event trace over the measurement window
+    #: (:class:`~repro.bench.event_trace.EventTraceRecorder`).
+    trace_events: bool = False
 
 
 @dataclass
@@ -66,6 +70,8 @@ class RunResult:
     makespan_ns: float
     #: Throughput recomputed for other worker counts from the same run.
     throughput_by_workers: dict[int, float] = field(default_factory=dict)
+    #: Per-edge event counts (only when ``RunConfig.trace_events``).
+    event_trace: dict[str, int] | None = None
 
     @property
     def throughput_kops(self) -> float:
@@ -233,6 +239,9 @@ class WorkloadRunner:
         # "we warm up the system until the buffer pool is full").
         self.hierarchy.reset_accounting()
         self.bm.reset_stats()
+        trace = None
+        if config.trace_events:
+            trace = EventTraceRecorder().attach(self.bm)
 
         sample_every = max(1, config.inclusivity_sample_every)
         for index in range(config.measure_ops):
@@ -242,6 +251,8 @@ class WorkloadRunner:
         if self.bm.inclusivity.num_samples == 0:
             self.bm.sample_inclusivity()
 
+        if trace is not None:
+            trace.detach()
         operations = config.measure_ops
         makespan = self.hierarchy.cost.makespan_ns(config.workers)
         throughput = self.hierarchy.throughput(operations, config.workers)
@@ -258,4 +269,5 @@ class WorkloadRunner:
             nvm_write_gb=self.bm.nvm_write_volume_gb(),
             makespan_ns=makespan,
             throughput_by_workers=by_workers,
+            event_trace=trace.report() if trace is not None else None,
         )

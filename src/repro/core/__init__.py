@@ -16,8 +16,10 @@ from .buffer_manager import (
     BufferPool,
 )
 from .descriptors import SharedPageDescriptor, TierPageDescriptor
+from .events import BufferEvent, EventBus, EventType, StatsProjector
 from .hymem import make_hymem
 from .mapping_table import MappingTable
+from .migration import Edge, MigrationEngine, MigrationOp
 from .policy import (
     DRAM_SSD_POLICY,
     HYMEM_POLICY,
@@ -30,6 +32,7 @@ from .policy import (
 )
 from .ssd_store import SsdStore
 from .stats import BufferStats, InclusivitySample, InclusivityTracker, inclusivity_ratio
+from .tier_chain import TierChain, TierNode
 
 __all__ = [
     "AccessResult",
@@ -39,16 +42,22 @@ __all__ = [
     "expected_dram_fraction",
     "promotion_half_life",
     "promotion_probability",
+    "BufferEvent",
     "BufferFullError",
     "BufferManager",
     "BufferManagerConfig",
     "BufferPool",
     "BufferStats",
     "DRAM_SSD_POLICY",
+    "Edge",
+    "EventBus",
+    "EventType",
     "HYMEM_POLICY",
     "InclusivitySample",
     "InclusivityTracker",
     "MappingTable",
+    "MigrationEngine",
+    "MigrationOp",
     "MigrationPolicy",
     "NVM_SSD_POLICY",
     "NvmAdmission",
@@ -57,6 +66,9 @@ __all__ = [
     "SPITFIRE_LAZY",
     "SharedPageDescriptor",
     "SsdStore",
+    "StatsProjector",
+    "TierChain",
+    "TierNode",
     "TierPageDescriptor",
     "inclusivity_ratio",
     "make_hymem",

@@ -1,11 +1,25 @@
 """The Spitfire multi-tier buffer manager (§5 of the paper).
 
-One :class:`BufferManager` manages up to two buffers (DRAM and/or NVM)
-on top of an SSD-resident database, with a unified mapping table,
-CLOCK replacement per buffer, and the probabilistic data migration
-policy of §3.  Setting the policy and configuration appropriately also
-yields the HyMem baseline (eager DRAM, admission-queue NVM, cache-line-
-grained loading, mini pages) — see :mod:`repro.core.hymem`.
+:class:`BufferManager` is a facade over three collaborating layers:
+
+* a :class:`~repro.core.tier_chain.TierChain` of
+  :class:`~repro.core.tier_chain.TierNode` objects (buffer pool + device
+  + per-tier facts, ordered fastest-first) over an SSD store,
+* a :class:`~repro.core.migration.MigrationEngine` that owns every
+  probabilistic admission/bypass/write-back decision of §3's
+  ``<D_r, D_w, N_r, N_w>`` policy tuple (and HyMem's admission queue),
+* an :class:`~repro.core.events.EventBus` that publishes typed
+  :class:`~repro.core.events.BufferEvent` records for every hit, miss,
+  install, migration, eviction, write-back, and flush — consumed by the
+  statistics projector, the inclusivity tracker, the adaptive tuner,
+  and the bench-side event-trace reporter.
+
+The fetch/promotion/eviction/flush paths walk the chain generically, so
+the paper's DRAM-SSD, NVM-SSD, and DRAM-NVM-SSD configurations — and a
+four-tier DRAM-CXL-NVM-SSD chain — are all just different chain shapes.
+Setting the policy and configuration appropriately also yields the HyMem
+baseline (eager DRAM, admission-queue NVM, cache-line-grained loading,
+mini pages) — see :mod:`repro.core.hymem`.
 
 Costing: every device transfer is charged to the hierarchy's shared
 :class:`~repro.hardware.simclock.CostAccumulator`; every bookkeeping
@@ -27,17 +41,23 @@ from ..pages.cacheline_page import CacheLinePage
 from ..pages.granularity import OPTANE_LOADING_UNIT, LoadingUnit
 from ..pages.mini_page import MINI_PAGE_BYTES, MINI_PAGE_SLOTS, MiniPage, MiniPageOverflow
 from ..pages.page import Page, PageId
-from ..replacement import make_replacer
 from .admission import AdmissionQueue, recommended_queue_size
 from .descriptors import SharedPageDescriptor, TierPageDescriptor
+from .events import BufferEvent, EventBus, EventType, StatsProjector
 from .mapping_table import MappingTable
+from .migration import Edge, MigrationEngine, MigrationOp
 from .policy import MigrationPolicy, NvmAdmission
 from .ssd_store import SsdStore
 from .stats import BufferStats, InclusivityTracker
+from .tier_chain import BufferFullError, BufferPool, TierChain, TierNode
 
-
-class BufferFullError(RuntimeError):
-    """All frames of a buffer are pinned; no victim can be found."""
+__all__ = [
+    "AccessResult",
+    "BufferFullError",
+    "BufferManager",
+    "BufferManagerConfig",
+    "BufferPool",
+]
 
 
 @dataclass(frozen=True)
@@ -94,141 +114,15 @@ def _device_write(device: Device | MemoryModeDevice, page_id: PageId, nbytes: in
         device.write(nbytes, sequential)
 
 
-class BufferPool:
-    """One tier's frame pool: frames, occupancy accounting, replacer.
-
-    Capacity is tracked in bytes so that mini pages (which occupy ~1 KB
-    instead of 16 KB) genuinely increase how many pages fit — the whole
-    point of the mini-page optimization.
-    """
-
-    def __init__(self, tier: Tier, capacity_bytes: int, replacement: str,
-                 min_entry_bytes: int) -> None:
-        if capacity_bytes < min_entry_bytes:
-            raise ValueError(
-                f"{tier.name} pool of {capacity_bytes} B cannot hold even one "
-                f"entry of {min_entry_bytes} B"
-            )
-        self.tier = tier
-        self.capacity_bytes = capacity_bytes
-        self.max_entries = capacity_bytes // min_entry_bytes
-        self.replacer = make_replacer(replacement, self.max_entries)
-        self._frames: list[TierPageDescriptor | None] = [None] * self.max_entries
-        self._free = list(range(self.max_entries - 1, -1, -1))
-        self._by_page: dict[PageId, TierPageDescriptor] = {}
-        self._entry_bytes: dict[int, int] = {}
-        self.used_bytes = 0
-        self.lock = threading.RLock()
-
-    # ------------------------------------------------------------------
-    def get(self, page_id: PageId) -> TierPageDescriptor | None:
-        with self.lock:
-            descriptor = self._by_page.get(page_id)
-        if descriptor is not None:
-            self.replacer.record_access(descriptor.frame_index)
-        return descriptor
-
-    def peek(self, page_id: PageId) -> TierPageDescriptor | None:
-        """Lookup without touching the replacement state."""
-        with self.lock:
-            return self._by_page.get(page_id)
-
-    def needs_space(self, incoming_bytes: int) -> bool:
-        with self.lock:
-            if not self._free:
-                return True
-            return self.used_bytes + incoming_bytes > self.capacity_bytes
-
-    def insert(self, content, entry_bytes: int) -> TierPageDescriptor:
-        """Install content into a free frame (caller ensured space)."""
-        with self.lock:
-            if content.page_id in self._by_page:
-                raise RuntimeError(
-                    f"page {content.page_id} already resident on {self.tier.name}"
-                )
-            if not self._free:
-                raise BufferFullError(f"{self.tier.name} pool has no free frame")
-            frame = self._free.pop()
-            descriptor = TierPageDescriptor(self.tier, frame, content)
-            self._frames[frame] = descriptor
-            self._by_page[content.page_id] = descriptor
-            self._entry_bytes[frame] = entry_bytes
-            self.used_bytes += entry_bytes
-        self.replacer.insert(frame)
-        return descriptor
-
-    def remove(self, descriptor: TierPageDescriptor) -> None:
-        with self.lock:
-            frame = descriptor.frame_index
-            if self._frames[frame] is not descriptor:
-                raise RuntimeError(
-                    f"descriptor for page {descriptor.page_id} is stale"
-                )
-            self._frames[frame] = None
-            del self._by_page[descriptor.page_id]
-            self.used_bytes -= self._entry_bytes.pop(frame)
-            self._free.append(frame)
-        self.replacer.remove(frame)
-
-    def resize_entry(self, descriptor: TierPageDescriptor, new_bytes: int) -> None:
-        """Adjust occupancy when a mini page is promoted to a full page."""
-        with self.lock:
-            frame = descriptor.frame_index
-            self.used_bytes += new_bytes - self._entry_bytes[frame]
-            self._entry_bytes[frame] = new_bytes
-
-    def pick_victim(self) -> TierPageDescriptor | None:
-        """Atomically claim an unpinned victim.
-
-        The claim (taken under the pool lock) guarantees two concurrent
-        evictors never work on the same frame; the caller must either
-        remove the descriptor or :meth:`unclaim` it.
-        """
-        with self.lock:
-            tracked = len(self.replacer)
-        for _ in range(2 * tracked + 2):
-            frame = self.replacer.victim()
-            if frame is None:
-                return None
-            with self.lock:
-                descriptor = self._frames[frame]
-                if descriptor is not None and not descriptor.pinned \
-                        and not descriptor.claimed:
-                    descriptor.claimed = True
-                    return descriptor
-            if descriptor is None:
-                self.replacer.remove(frame)
-            else:
-                self.replacer.record_access(frame)
-        return None
-
-    def unclaim(self, descriptor: TierPageDescriptor) -> None:
-        """Release an eviction claim without evicting."""
-        with self.lock:
-            descriptor.claimed = False
-
-    def resident_page_ids(self) -> set[PageId]:
-        with self.lock:
-            return set(self._by_page)
-
-    def descriptors(self) -> list[TierPageDescriptor]:
-        with self.lock:
-            return list(self._by_page.values())
-
-    def __len__(self) -> int:
-        with self.lock:
-            return len(self._by_page)
-
-
 class BufferManager:
-    """Three-tier buffer manager with probabilistic data migration.
+    """Multi-tier buffer manager with probabilistic data migration.
 
     Parameters
     ----------
     hierarchy:
-        Devices and cost accounting for this configuration.  Whichever of
-        DRAM/NVM tiers the hierarchy contains get a buffer pool; the SSD
-        tier (required) holds the database.
+        Devices and cost accounting for this configuration.  Every
+        buffer tier the hierarchy contains (DRAM, CXL, NVM) gets a chain
+        node; the SSD tier (required) holds the database.
     policy:
         The migration policy ``<D_r, D_w, N_r, N_w>``.  May be swapped at
         runtime via :meth:`set_policy` (the adaptive tuner does this).
@@ -252,22 +146,23 @@ class BufferManager:
         self.table = MappingTable(self.config.mapping_shards)
         self.store = SsdStore(hierarchy.device(Tier.SSD), hierarchy.page_size)
         self.stats = BufferStats()
+        self.events = EventBus()
+        self._stats_projector = StatsProjector(self)
+        self.events.subscribe(self._stats_projector)
         self.inclusivity = InclusivityTracker()
-        self.pools: dict[Tier, BufferPool] = {}
-        min_entry = MINI_PAGE_BYTES if self.config.mini_pages else hierarchy.page_size
-        for tier in (Tier.DRAM, Tier.NVM):
-            if hierarchy.has_tier(tier):
-                capacity = hierarchy.device(tier).capacity_bytes or 0
-                entry = min_entry if tier is Tier.DRAM else hierarchy.page_size
-                self.pools[tier] = BufferPool(
-                    tier, capacity, self.config.replacement, entry
-                )
-        # Hot-path shortcuts (avoid enum-keyed dict lookups per access).
-        self._dram_pool = self.pools.get(Tier.DRAM)
-        self._nvm_pool = self.pools.get(Tier.NVM)
-        self.has_dram = self._dram_pool is not None
-        self.has_nvm = self._nvm_pool is not None
-        if self.config.fine_grained and not (self.has_dram and self.has_nvm):
+        self.inclusivity.attach(self.events)
+
+        top_entry = MINI_PAGE_BYTES if self.config.mini_pages else None
+        self.chain = TierChain.build(
+            hierarchy, self.config.replacement, top_entry_bytes=top_entry
+        )
+        #: Legacy view of the chain's pools, keyed by tier.
+        self.pools: dict[Tier, BufferPool] = {
+            node.tier: node.pool for node in self.chain
+        }
+        self.has_dram = Tier.DRAM in self.chain
+        self.has_nvm = Tier.NVM in self.chain
+        if self.config.fine_grained and self.chain.tiers != (Tier.DRAM, Tier.NVM):
             raise ValueError(
                 "fine-grained loading needs both DRAM and NVM tiers "
                 "(it applies to the NVM→DRAM migration path)"
@@ -281,6 +176,7 @@ class BufferManager:
             if size is None:
                 size = recommended_queue_size(self.pools[Tier.NVM].max_entries)
             self.admission_queue = AdmissionQueue(size)
+        self.engine = MigrationEngine(self, self.rng, self.admission_queue)
 
     # ------------------------------------------------------------------
     # Policy management
@@ -300,6 +196,10 @@ class BufferManager:
 
     def _cpu(self, service_ns: float) -> None:
         self.hierarchy.charge_cpu(service_ns)
+
+    def _emit(self, type: EventType, page_id: PageId, tier: Tier | None = None,
+              src: Tier | None = None, dirty: bool = False) -> None:
+        self.events.emit(BufferEvent(type, page_id, tier, src, dirty))
 
     # ------------------------------------------------------------------
     # Page lifecycle
@@ -322,8 +222,8 @@ class BufferManager:
         charged — priming models state that long-past warm-up traffic
         would have created.
         """
-        pool = self.pools.get(tier)
-        if pool is None or pool.needs_space(self.hierarchy.page_size):
+        node = self.chain.get(tier)
+        if node is None or node.pool.needs_space(self.hierarchy.page_size):
             return False
         shared = self.table.get_or_create(page_id)
         if shared.copy_on(tier) is not None:
@@ -332,7 +232,7 @@ class BufferManager:
         if durable is None:
             return False
         with shared.latched(tier):
-            descriptor = pool.insert(durable.clone(), self.hierarchy.page_size)
+            descriptor = node.pool.insert(durable.clone(), self.hierarchy.page_size)
             shared.attach(descriptor)
         return True
 
@@ -342,66 +242,88 @@ class BufferManager:
     def read(self, page_id: PageId, offset: int = 0,
              nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
         """Serve a read of ``nbytes`` at ``offset`` within the page."""
-        costs = self.hierarchy.cpu_costs
-        self._cpu(costs.lookup_ns)
-        self.stats.reads += 1
-        shared = self.table.get_or_create(page_id)
-        policy = self.policy
-
-        dram_desc = self._pool_get(Tier.DRAM, page_id)
-        if dram_desc is not None:
-            self.stats.dram_hits += 1
-            self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write=False)
-            return AccessResult(page_id, Tier.DRAM, hit=True)
-
-        nvm_desc = self._pool_get(Tier.NVM, page_id)
-        if nvm_desc is not None:
-            self.stats.nvm_hits += 1
-            if self.has_dram and policy.promote_to_dram_on_read(self.rng):
-                dram_desc = self._migrate_nvm_to_dram(shared, nvm_desc, offset, nbytes)
-                self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write=False)
-                return AccessResult(page_id, Tier.DRAM, hit=True)
-            # Serve the read directly on NVM (§3.1): the CPU operates on
-            # the NVM-resident data at the media granularity.
-            _device_read(self._device(Tier.NVM), page_id, nbytes)
-            self.stats.nvm_direct_reads += 1
-            return AccessResult(page_id, Tier.NVM, hit=True, bypassed_dram=True)
-
-        tier = self._fetch_from_ssd(shared, page_id, offset, nbytes, is_write=False)
-        return AccessResult(page_id, tier, hit=False, bypassed_dram=tier is Tier.NVM)
+        return self._access(page_id, offset, nbytes, is_write=False)
 
     def write(self, page_id: PageId, offset: int = 0,
               nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
         """Serve an in-place update of ``nbytes`` at ``offset``."""
+        return self._access(page_id, offset, nbytes, is_write=True)
+
+    def _access(self, page_id: PageId, offset: int, nbytes: int,
+                is_write: bool) -> AccessResult:
+        """The generic chain walk shared by :meth:`read` and :meth:`write`.
+
+        Top-down hit scan; on a non-top hit, one promotion draw per edge
+        climbs the page toward the top (§3.1/§3.2).  A full miss goes to
+        :meth:`_fetch_from_ssd`.
+        """
         costs = self.hierarchy.cpu_costs
         self._cpu(costs.lookup_ns)
-        self.stats.writes += 1
+        self._emit(EventType.OP_WRITE if is_write else EventType.OP_READ, page_id)
         shared = self.table.get_or_create(page_id)
         policy = self.policy
 
-        dram_desc = self._pool_get(Tier.DRAM, page_id)
-        if dram_desc is not None:
-            self.stats.dram_hits += 1
-            self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write=True)
-            return AccessResult(page_id, Tier.DRAM, hit=True)
+        promote_op = (
+            MigrationOp.PROMOTE_WRITE if is_write else MigrationOp.PROMOTE_READ
+        )
+        for node in self.chain:
+            descriptor = node.pool.get(page_id)
+            if descriptor is None:
+                continue
+            self._emit(EventType.HIT, page_id, tier=node.tier)
+            node, descriptor = self._climb(
+                shared, node, descriptor, promote_op, offset, nbytes, policy
+            )
+            return self._serve(node, shared, descriptor, offset, nbytes,
+                               is_write, hit=True)
 
-        nvm_desc = self._pool_get(Tier.NVM, page_id)
-        if nvm_desc is not None:
-            self.stats.nvm_hits += 1
-            if self.has_dram and policy.route_write_through_dram(self.rng):
-                dram_desc = self._migrate_nvm_to_dram(shared, nvm_desc, offset, nbytes)
-                self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write=True)
-                return AccessResult(page_id, Tier.DRAM, hit=True)
-            # Update the NVM copy in place and persist it (§3.2).
-            device = self._device(Tier.NVM)
+        tier = self._fetch_from_ssd(shared, page_id, offset, nbytes, is_write)
+        bypassed = tier not in (Tier.DRAM, Tier.SSD)
+        return AccessResult(page_id, tier, hit=False, bypassed_dram=bypassed)
+
+    def _climb(self, shared: SharedPageDescriptor, node: TierNode,
+               descriptor: TierPageDescriptor, promote_op: MigrationOp,
+               offset: int, nbytes: int,
+               policy: MigrationPolicy) -> tuple[TierNode, TierPageDescriptor]:
+        """Chained one-edge promotion draws from ``node`` toward the top."""
+        while node.index > 0:
+            upper = self.chain.upper_of(node)
+            edge = Edge(node.tier, upper.tier)
+            if not self.engine.decide(edge, promote_op, shared.page_id, policy):
+                break
+            descriptor = self._migrate_up(shared, descriptor, node, upper,
+                                          offset, nbytes)
+            node = upper
+        return node, descriptor
+
+    def _serve(self, node: TierNode, shared: SharedPageDescriptor,
+               descriptor: TierPageDescriptor, offset: int, nbytes: int,
+               is_write: bool, hit: bool) -> AccessResult:
+        """Serve an access on whichever node the walk landed on."""
+        if node.index == 0 and not node.persistent:
+            self._serve_resident_access(node, shared, descriptor, offset,
+                                        nbytes, is_write)
+            return AccessResult(shared.page_id, node.tier, hit=hit)
+        self._serve_direct(node, descriptor, nbytes, is_write)
+        return AccessResult(shared.page_id, node.tier, hit=hit,
+                            bypassed_dram=True)
+
+    def _serve_direct(self, node: TierNode, descriptor: TierPageDescriptor,
+                      nbytes: int, is_write: bool) -> None:
+        """Operate on a lower-tier copy in place — the DRAM bypass (§3.1,
+        §3.2): the CPU works on the tier-resident data directly, with a
+        persist barrier when the tier is durable."""
+        device = node.device
+        page_id = descriptor.page_id
+        if is_write:
             _device_write(device, page_id, nbytes)
-            device.persist_barrier()
-            nvm_desc.mark_dirty()
-            self.stats.nvm_direct_writes += 1
-            return AccessResult(page_id, Tier.NVM, hit=True, bypassed_dram=True)
-
-        tier = self._fetch_from_ssd(shared, page_id, offset, nbytes, is_write=True)
-        return AccessResult(page_id, tier, hit=False, bypassed_dram=tier is Tier.NVM)
+            if node.persistent:
+                device.persist_barrier()
+            descriptor.mark_dirty()
+            self._emit(EventType.DIRECT_WRITE, page_id, tier=node.tier)
+        else:
+            _device_read(device, page_id, nbytes)
+            self._emit(EventType.DIRECT_READ, page_id, tier=node.tier)
 
     # ------------------------------------------------------------------
     # Engine-facing pinned access
@@ -437,15 +359,21 @@ class BufferManager:
     # Flushing / checkpointing support
     # ------------------------------------------------------------------
     def flush_dirty_dram(self, limit: int | None = None) -> int:
-        """Write dirty DRAM pages to SSD (the recovery-protocol flush).
+        """Write dirty top-tier pages down to durable media (the
+        recovery-protocol flush).
 
-        Dirty NVM pages are *not* flushed: NVM is persistent, so they are
-        already durable (§5.2 Recovery).  Returns the number flushed.
+        Dirty pages on persistent buffer tiers are *not* flushed: they
+        are already durable (§5.2 Recovery).  A flush prefers refreshing
+        or installing a copy on the nearest persistent buffer tier over
+        paying the SSD write.  Returns the number flushed.
         """
-        if not self.has_dram:
+        top = self.chain.top
+        if top is None or top.persistent:
             return 0
+        persist_node = self.chain.first_persistent_below(top)
+        latch_tiers = self.chain.tiers + (Tier.SSD,)
         flushed = 0
-        for descriptor in self.pools[Tier.DRAM].descriptors():
+        for descriptor in top.pool.descriptors():
             if limit is not None and flushed >= limit:
                 break
             if not descriptor.dirty or descriptor.pinned:
@@ -453,74 +381,82 @@ class BufferManager:
             shared = self.table.get(descriptor.page_id)
             if shared is None:
                 continue
-            with shared.latched(Tier.DRAM, Tier.NVM, Tier.SSD):
+            with shared.latched(*latch_tiers):
                 if not descriptor.dirty:
                     continue
                 content = descriptor.content
-                nvm_desc = shared.copy_on(Tier.NVM)
+                persist_desc = (
+                    shared.copy_on(persist_node.tier)
+                    if persist_node is not None else None
+                )
                 if isinstance(content, (CacheLinePage, MiniPage)):
                     # Partial layouts persist their dirty lines into the
                     # NVM backing page, which is durable.
                     self._writeback_lines_to_nvm(shared, descriptor)
-                elif nvm_desc is not None and isinstance(nvm_desc.content, Page):
-                    # A live NVM copy makes the page durable with one NVM
-                    # page write — far cheaper than the SSD path.
-                    _device_read(self._device(Tier.DRAM), descriptor.page_id,
+                elif persist_desc is not None and isinstance(persist_desc.content, Page):
+                    # A live persistent copy makes the page durable with
+                    # one NVM page write — far cheaper than the SSD path.
+                    _device_read(top.device, descriptor.page_id,
                                  self.hierarchy.page_size, sequential=True)
-                    nvm_desc.content.copy_from(content)
-                    nvm_device = self._device(Tier.NVM)
-                    _device_write(nvm_device, descriptor.page_id,
+                    persist_desc.content.copy_from(content)
+                    _device_write(persist_node.device, descriptor.page_id,
                                   self.hierarchy.page_size)
-                    nvm_device.persist_barrier()
-                    nvm_desc.mark_dirty()
+                    persist_node.device.persist_barrier()
+                    persist_desc.mark_dirty()
                 elif self._flush_admits_to_nvm(descriptor.page_id):
                     # The flush is a downward write migration, so N_w (or
                     # HyMem's admission queue) chooses its destination —
                     # installing the page in NVM persists it without the
                     # SSD write (§3.4's path ⑤ applied to checkpoints).
-                    _device_read(self._device(Tier.DRAM), descriptor.page_id,
+                    _device_read(top.device, descriptor.page_id,
                                  self.hierarchy.page_size, sequential=True)
-                    nvm_desc = self._insert_with_space(
-                        Tier.NVM, content.clone(), self.hierarchy.page_size,
-                        protect=descriptor.page_id,
+                    persist_desc = self._insert_with_space(
+                        persist_node.tier, content.clone(),
+                        self.hierarchy.page_size, protect=descriptor.page_id,
                     )
-                    shared.attach(nvm_desc)
-                    nvm_desc.mark_dirty()
-                    nvm_device = self._device(Tier.NVM)
-                    _device_write(nvm_device, descriptor.page_id,
+                    shared.attach(persist_desc)
+                    persist_desc.mark_dirty()
+                    _device_write(persist_node.device, descriptor.page_id,
                                   self.hierarchy.page_size)
-                    nvm_device.persist_barrier()
-                    self.stats.dram_to_nvm += 1
+                    persist_node.device.persist_barrier()
+                    self._emit(EventType.MIGRATE_DOWN, descriptor.page_id,
+                               tier=persist_node.tier, src=top.tier, dirty=True)
                 else:
-                    _device_read(self._device(Tier.DRAM), descriptor.page_id,
+                    _device_read(top.device, descriptor.page_id,
                                  self.hierarchy.page_size, sequential=True)
                     self.store.write_page(content, sequential=True)
                 descriptor.clear_dirty()
                 flushed += 1
-                self.stats.dirty_page_flushes += 1
+                self._emit(EventType.FLUSH, descriptor.page_id, tier=top.tier)
         return flushed
 
     def _flush_admits_to_nvm(self, page_id: PageId) -> bool:
         """Should a checkpoint flush land in NVM rather than on SSD?"""
-        if not self.has_nvm:
+        top = self.chain.top
+        persist_node = (
+            self.chain.first_persistent_below(top) if top is not None else None
+        )
+        if persist_node is None:
             return False
-        if self.admission_queue is not None:
-            return self.admission_queue.should_admit(page_id)
-        return self.policy.admit_to_nvm_on_eviction(self.rng)
+        edge = Edge(top.tier, persist_node.tier)
+        return self.engine.decide(edge, MigrationOp.FLUSH_ADMIT, page_id)
 
     def flush_all(self) -> int:
         """Flush every dirty buffered page down to SSD (shutdown path)."""
         flushed = self.flush_dirty_dram()
-        if self.has_nvm:
-            for descriptor in self.pools[Tier.NVM].descriptors():
+        top = self.chain.top
+        for node in self.chain:
+            if node is top and not node.persistent:
+                continue
+            for descriptor in node.pool.descriptors():
                 if not descriptor.dirty:
                     continue
                 shared = self.table.get(descriptor.page_id)
                 if shared is None:
                     continue
-                with shared.latched(Tier.NVM, Tier.SSD):
+                with shared.latched(node.tier, Tier.SSD):
                     if descriptor.dirty and isinstance(descriptor.content, Page):
-                        self._device(Tier.NVM).read(self.hierarchy.page_size)
+                        node.device.read(self.hierarchy.page_size)
                         self.store.write_page(descriptor.content, sequential=True)
                         descriptor.clear_dirty()
                         flushed += 1
@@ -530,8 +466,8 @@ class BufferManager:
     # Observability
     # ------------------------------------------------------------------
     def resident_pages(self, tier: Tier) -> set[PageId]:
-        pool = self.pools.get(tier)
-        return pool.resident_page_ids() if pool else set()
+        node = self.chain.get(tier)
+        return node.pool.resident_page_ids() if node else set()
 
     def sample_inclusivity(self) -> float:
         """Record one inclusivity observation (§3.3's ratio)."""
@@ -550,57 +486,61 @@ class BufferManager:
         return device.write_volume_gb()
 
     def reset_stats(self) -> None:
+        """Zero every measurement surface: the stats counters, the
+        inclusivity samples, the event projections, and the per-device
+        transfer/write-volume counters (so e.g. :meth:`nvm_write_volume_gb`
+        restarts from zero alongside the hit counters)."""
         self.stats = BufferStats()
         self.inclusivity.reset()
+        self._stats_projector.reset()
+        for device in self.hierarchy.devices.values():
+            device.reset_counters()
 
     # ------------------------------------------------------------------
     # Crash / recovery hooks (§5.2 Recovery)
     # ------------------------------------------------------------------
     def simulate_crash(self) -> None:
-        """Drop all volatile state: the DRAM pool and the mapping table.
+        """Drop all volatile state: volatile pools and the mapping table.
 
-        The NVM pool's frames survive (NVM is persistent); the mapping
+        Persistent pools' frames survive (NVM is persistent); the mapping
         table is DRAM-resident and must be reconstructed by recovery.
         """
-        if self.has_dram:
-            pool = self.pools[Tier.DRAM]
-            for descriptor in pool.descriptors():
-                pool.remove(descriptor)
+        for node in self.chain.volatile_nodes:
+            for descriptor in node.pool.descriptors():
+                node.pool.remove(descriptor)
         self.table.clear()
 
     def recover_mapping_table(self) -> int:
-        """Rebuild the mapping table by scanning the NVM buffer.
+        """Rebuild the mapping table by scanning persistent buffers.
 
         Mirrors the first recovery step in §5.2: collect the page ids of
         NVM-resident frames and reconstruct their descriptors.  Returns
         the number of recovered entries.
         """
         recovered = 0
-        if self.has_nvm:
-            for descriptor in self.pools[Tier.NVM].descriptors():
+        for node in self.chain.persistent_nodes:
+            for descriptor in node.pool.descriptors():
                 shared = self.table.get_or_create(descriptor.page_id)
-                if shared.copy_on(Tier.NVM) is None:
+                if shared.copy_on(node.tier) is None:
                     shared.attach(descriptor)
                     recovered += 1
-                # Scanning the NVM buffer costs a header read per frame.
-                self._device(Tier.NVM).read(CACHE_LINE_SIZE, sequential=True)
+                # Scanning the buffer costs a header read per frame.
+                node.device.read(CACHE_LINE_SIZE, sequential=True)
         return recovered
 
     # ==================================================================
     # Internal machinery
     # ==================================================================
     def _pool_get(self, tier: Tier, page_id: PageId) -> TierPageDescriptor | None:
-        pool = self._dram_pool if tier is Tier.DRAM else (
-            self._nvm_pool if tier is Tier.NVM else None
-        )
-        return pool.get(page_id) if pool else None
+        node = self.chain.get(tier)
+        return node.pool.get(page_id) if node is not None else None
 
     # ------------------------------------------------------------------
-    # Serving accesses on DRAM copies (handles fine-grained layouts)
+    # Serving accesses on top-tier copies (handles fine-grained layouts)
     # ------------------------------------------------------------------
-    def _serve_dram_access(self, shared: SharedPageDescriptor,
-                           descriptor: TierPageDescriptor, offset: int,
-                           nbytes: int, is_write: bool) -> None:
+    def _serve_resident_access(self, node: TierNode, shared: SharedPageDescriptor,
+                               descriptor: TierPageDescriptor, offset: int,
+                               nbytes: int, is_write: bool) -> None:
         costs = self.hierarchy.cpu_costs
         content = descriptor.content
         if isinstance(content, MiniPage):
@@ -613,7 +553,7 @@ class BufferManager:
                 content = descriptor.content
                 self._serve_cacheline_access(content, offset, nbytes, is_write)
                 descriptor.dirty = descriptor.dirty or is_write
-                self._finish_dram_access(descriptor, offset, nbytes, is_write)
+                self._finish_resident_access(node, descriptor, nbytes, is_write)
                 return
             if missing:
                 self._charge_fine_grained_load(missing * CACHE_LINE_SIZE)
@@ -628,11 +568,12 @@ class BufferManager:
         else:
             if is_write:
                 descriptor.mark_dirty()
-        self._finish_dram_access(descriptor, offset, nbytes, is_write)
+        self._finish_resident_access(node, descriptor, nbytes, is_write)
 
-    def _finish_dram_access(self, descriptor: TierPageDescriptor, offset: int,
-                            nbytes: int, is_write: bool) -> None:
-        device = self._device(Tier.DRAM)
+    def _finish_resident_access(self, node: TierNode,
+                                descriptor: TierPageDescriptor,
+                                nbytes: int, is_write: bool) -> None:
+        device = node.device
         if is_write:
             _device_write(device, descriptor.page_id, nbytes)
         else:
@@ -686,7 +627,7 @@ class BufferManager:
         # The loaded lines land in the DRAM copy via a CPU copy.
         self._device(Tier.DRAM).write(useful_bytes)
         self._cpu(self.hierarchy.cpu_costs.copy_ns(useful_bytes))
-        self.stats.fine_grained_loads += 1
+        self._emit(EventType.FINE_GRAINED_LOAD, -1, tier=Tier.NVM)
 
     def _lines_for(self, offset: int, nbytes: int) -> list[int]:
         max_line = self.hierarchy.page_size // CACHE_LINE_SIZE - 1
@@ -715,7 +656,8 @@ class BufferManager:
         pool.resize_entry(descriptor, self.hierarchy.page_size)
         descriptor.content = promoted
         descriptor.dirty = was_dirty
-        self.stats.mini_page_promotions += 1
+        self._emit(EventType.MINI_PAGE_PROMOTION, descriptor.page_id,
+                   tier=Tier.DRAM)
         self._cpu(self.hierarchy.cpu_costs.migration_ns)
         return descriptor
 
@@ -750,117 +692,106 @@ class BufferManager:
     # ------------------------------------------------------------------
     def _fetch_from_ssd(self, shared: SharedPageDescriptor, page_id: PageId,
                         offset: int, nbytes: int, is_write: bool) -> Tier:
-        self.stats.ssd_fetches += 1
+        """Bottom-up fetch admission over the chain (§3.3).
+
+        Each non-top node draws its fetch-admission knob, slowest first;
+        the first admit wins.  The top node is the unconditional fallback
+        — a fetch must land somewhere.  After the install, promotion
+        draws may carry the page further up (§3.4's path ③+①).
+        """
+        self._emit(EventType.MISS, page_id, tier=Tier.SSD)
         policy = self.policy
         durable = self.store.read_page(page_id)  # charges the SSD read
 
-        admit_nvm = self.has_nvm and policy.admit_to_nvm_on_fetch(self.rng)
-        if admit_nvm:
-            nvm_desc = self._install(Tier.NVM, shared, durable.clone())
-            self.stats.ssd_to_nvm += 1
-            promote = (
-                policy.route_write_through_dram(self.rng)
-                if is_write
-                else policy.promote_to_dram_on_read(self.rng)
-            )
-            if self.has_dram and promote:
-                dram_desc = self._migrate_nvm_to_dram(shared, nvm_desc, offset, nbytes)
-                self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write)
-                return Tier.DRAM
-            device = self._device(Tier.NVM)
+        landed: TierNode | None = None
+        for node in reversed(self.chain.nodes):
+            if node.index == 0:
+                landed = node
+                break
+            edge = Edge(Tier.SSD, node.tier)
+            if self.engine.decide(edge, MigrationOp.FETCH_ADMIT, page_id, policy):
+                landed = node
+                break
+        if landed is None:
+            # Degenerate bufferless configuration: operate straight on SSD.
             if is_write:
-                _device_write(device, page_id, nbytes)
-                device.persist_barrier()
-                nvm_desc.mark_dirty()
-                self.stats.nvm_direct_writes += 1
-            else:
-                _device_read(device, page_id, nbytes)
-                self.stats.nvm_direct_reads += 1
-            return Tier.NVM
+                self.store.write_page(durable)
+            return Tier.SSD
 
-        if self.has_dram:
-            dram_desc = self._install(Tier.DRAM, shared, durable.clone())
-            self.stats.ssd_to_dram += 1
-            self._serve_dram_access(shared, dram_desc, offset, nbytes, is_write)
-            return Tier.DRAM
+        descriptor = self._install(landed, shared, durable.clone())
+        promote_op = (
+            MigrationOp.PROMOTE_WRITE if is_write else MigrationOp.PROMOTE_READ
+        )
+        landed, descriptor = self._climb(
+            shared, landed, descriptor, promote_op, offset, nbytes, policy
+        )
+        return self._serve(landed, shared, descriptor, offset, nbytes,
+                           is_write, hit=False).served_tier
 
-        if self.has_nvm:
-            # No DRAM tier: the page has to land in NVM regardless of N_r.
-            nvm_desc = self._install(Tier.NVM, shared, durable.clone())
-            self.stats.ssd_to_nvm += 1
-            device = self._device(Tier.NVM)
-            if is_write:
-                _device_write(device, page_id, nbytes)
-                device.persist_barrier()
-                nvm_desc.mark_dirty()
-            else:
-                _device_read(device, page_id, nbytes)
-            return Tier.NVM
-
-        # Degenerate bufferless configuration: operate straight on SSD.
-        if is_write:
-            self.store.write_page(durable)
-        return Tier.SSD
-
-    def _install(self, tier: Tier, shared: SharedPageDescriptor,
+    def _install(self, node: TierNode, shared: SharedPageDescriptor,
                  content: Page) -> TierPageDescriptor:
-        """Place a full page copy into a tier's pool, evicting as needed."""
-        with shared.latched(tier):
-            existing = shared.copy_on(tier)
+        """Place a full page copy into a node's pool, evicting as needed."""
+        with shared.latched(node.tier):
+            existing = shared.copy_on(node.tier)
             if existing is not None:
-                # A concurrent miss on the same page installed it first.
+                # A concurrent miss on the same page installed it first;
+                # this fetch still counts as an install toward the tier.
+                self._emit(EventType.INSTALL, content.page_id, tier=node.tier,
+                           src=Tier.SSD)
                 return existing
             descriptor = self._insert_with_space(
-                tier, content, self.hierarchy.page_size,
+                node.tier, content, self.hierarchy.page_size,
                 protect=content.page_id,
             )
             shared.attach(descriptor)
-        device = self._device(tier)
         # Page installs land at random frame locations: NVM pays its
         # random-write bandwidth (6 GB/s on Optane), DRAM does not care.
-        _device_write(device, content.page_id, self.hierarchy.page_size,
-                      sequential=tier is not Tier.NVM)
-        if tier is Tier.NVM:
-            device.persist_barrier()
+        _device_write(node.device, content.page_id, self.hierarchy.page_size,
+                      sequential=node.install_sequential)
+        if node.persistent:
+            node.device.persist_barrier()
+        self._emit(EventType.INSTALL, content.page_id, tier=node.tier,
+                   src=Tier.SSD)
         return descriptor
 
     # ------------------------------------------------------------------
-    # NVM → DRAM migration (§3.1, §5.2)
+    # Upward migration (§3.1, §5.2)
     # ------------------------------------------------------------------
-    def _migrate_nvm_to_dram(self, shared: SharedPageDescriptor,
-                             nvm_desc: TierPageDescriptor, offset: int,
-                             nbytes: int) -> TierPageDescriptor:
+    def _migrate_up(self, shared: SharedPageDescriptor,
+                    lower_desc: TierPageDescriptor, lower: TierNode,
+                    upper: TierNode, offset: int,
+                    nbytes: int) -> TierPageDescriptor:
         costs = self.hierarchy.cpu_costs
-        existing = self._pool_get(Tier.DRAM, shared.page_id)
+        existing = upper.pool.get(shared.page_id)
         if existing is not None:
             return existing
-        with shared.latched(Tier.DRAM, Tier.NVM):
-            # §5.2: wait for readers of the NVM copy so the DRAM copy
+        with shared.latched(upper.tier, lower.tier):
+            # §5.2: wait for readers of the lower copy so the upper copy
             # cannot miss concurrent modifications.
-            shared.wait_for_unpinned(Tier.NVM)
-            existing = shared.copy_on(Tier.DRAM)
+            shared.wait_for_unpinned(lower.tier)
+            existing = shared.copy_on(upper.tier)
             if existing is not None:
                 return existing
             self._cpu(costs.migration_ns)
-            nvm_content = nvm_desc.content
-            if not isinstance(nvm_content, Page):  # pragma: no cover - defensive
-                raise RuntimeError("NVM frames always hold full pages")
+            lower_content = lower_desc.content
+            if not isinstance(lower_content, Page):  # pragma: no cover - defensive
+                raise RuntimeError("lower-tier frames always hold full pages")
             if self.config.fine_grained:
-                descriptor = self._install_fine_grained(shared, nvm_content,
+                descriptor = self._install_fine_grained(shared, lower_content,
                                                         offset, nbytes)
             else:
-                nvm_device = self._device(Tier.NVM)
-                _device_read(nvm_device, shared.page_id,
+                _device_read(lower.device, shared.page_id,
                              self.hierarchy.page_size)
                 self._cpu(costs.copy_ns(self.hierarchy.page_size))
                 descriptor = self._insert_with_space(
-                    Tier.DRAM, nvm_content.clone(), self.hierarchy.page_size,
+                    upper.tier, lower_content.clone(), self.hierarchy.page_size,
                     protect=shared.page_id,
                 )
                 shared.attach(descriptor)
-                _device_write(self._device(Tier.DRAM), shared.page_id,
+                _device_write(upper.device, shared.page_id,
                               self.hierarchy.page_size, sequential=True)
-            self.stats.nvm_to_dram += 1
+            self._emit(EventType.MIGRATE_UP, shared.page_id, tier=upper.tier,
+                       src=lower.tier)
             return descriptor
 
     def _install_fine_grained(self, shared: SharedPageDescriptor,
@@ -896,7 +827,8 @@ class BufferManager:
     # ------------------------------------------------------------------
     def _ensure_space(self, tier: Tier, incoming_bytes: int,
                       protect: PageId | None = None) -> None:
-        pool = self.pools[tier]
+        node = self.chain.node(tier)
+        pool = node.pool
         guard = 2 * pool.max_entries + 4
         misses = 0
         while pool.needs_space(incoming_bytes):
@@ -920,10 +852,7 @@ class BufferManager:
                 pool.replacer.record_access(victim.frame_index)
                 pool.unclaim(victim)
                 continue
-            if tier is Tier.DRAM:
-                self._evict_from_dram(victim)
-            else:
-                self._evict_from_nvm(victim)
+            self._evict_from_node(node, victim)
 
     def _insert_with_space(self, tier: Tier, content, entry_bytes: int,
                            protect: PageId | None = None) -> TierPageDescriptor:
@@ -939,105 +868,129 @@ class BufferManager:
             f"could not secure a {tier.name} frame for page {content.page_id}"
         )
 
-    def _evict_from_dram(self, descriptor: TierPageDescriptor) -> None:
-        """Apply the DRAM-eviction half of the migration policy (§3.4)."""
+    def _evict_from_node(self, node: TierNode,
+                         descriptor: TierPageDescriptor) -> None:
+        """Apply the eviction half of the migration policy (§3.4).
+
+        Dirty victims draw the eviction-admission knob of the edge into
+        the next-lower buffer node (when one exists) and are written back
+        to the store otherwise.  Clean victims are considered for
+        admission only when no lower copy exists — the lower buffer acts
+        as a victim cache — and are dropped otherwise (§3.3: the SSD copy
+        is still valid).
+        """
         costs = self.hierarchy.cpu_costs
         self._cpu(costs.eviction_ns)
         page_id = descriptor.page_id
         shared = self.table.get(page_id)
         if shared is None:  # pragma: no cover - defensive
-            self.pools[Tier.DRAM].remove(descriptor)
+            node.pool.remove(descriptor)
             return
-        self.stats.dram_evictions += 1
-        policy = self.policy
+        self._emit(EventType.EVICT, page_id, tier=node.tier,
+                   dirty=descriptor.dirty)
         content = descriptor.content
-        nvm_backed = isinstance(content, (CacheLinePage, MiniPage))
 
-        if nvm_backed and shared.copy_on(Tier.NVM) is not None:
-            # Partial layout over a live NVM page: write dirty lines back.
-            with shared.latched(Tier.DRAM, Tier.NVM):
-                self._writeback_lines_to_nvm(shared, descriptor)
-                self.pools[Tier.DRAM].remove(descriptor)
-                shared.detach(Tier.DRAM)
-            self._gc_descriptor(shared)
-            return
+        if node.tier is Tier.NVM:
+            # A partial DRAM copy backed by this NVM page must become
+            # self-contained before the backing disappears.
+            dram_desc = shared.copy_on(Tier.DRAM)
+            if dram_desc is not None and isinstance(
+                dram_desc.content, (CacheLinePage, MiniPage)
+            ):
+                with shared.latched(Tier.DRAM, Tier.NVM):
+                    self._writeback_lines_to_nvm(shared, dram_desc)
+                    self._promote_to_full_residency(dram_desc)
 
-        if nvm_backed:
+        if isinstance(content, (CacheLinePage, MiniPage)):
+            if shared.copy_on(Tier.NVM) is not None:
+                # Partial layout over a live NVM page: write dirty lines back.
+                with shared.latched(node.tier, Tier.NVM):
+                    self._writeback_lines_to_nvm(shared, descriptor)
+                    node.pool.remove(descriptor)
+                    shared.detach(node.tier)
+                self._gc_descriptor(shared)
+                return
             content = self._promote_to_full_residency(descriptor)
 
+        lower = self.chain.lower_of(node)
         if descriptor.dirty:
-            admitted = False
-            if self.has_nvm:
-                if self.admission_queue is not None:
-                    admitted = self.admission_queue.should_admit(page_id)
-                else:
-                    admitted = policy.admit_to_nvm_on_eviction(self.rng)
+            admitted = lower is not None and self.engine.decide(
+                Edge(node.tier, lower.tier), MigrationOp.EVICT_ADMIT, page_id
+            )
             if admitted:
-                self._admit_eviction_to_nvm(shared, descriptor, content)
+                self._admit_eviction_to_lower(shared, descriptor, content,
+                                              node, lower)
             else:
-                with shared.latched(Tier.DRAM, Tier.SSD):
-                    self._device(Tier.DRAM).read(self.hierarchy.page_size,
-                                                 sequential=True)
-                    self.store.write_page(content)
-                    self.stats.dram_to_ssd += 1
-                    self.pools[Tier.DRAM].remove(descriptor)
-                    shared.detach(Tier.DRAM)
+                with shared.latched(node.tier, Tier.SSD):
+                    if isinstance(content, Page):
+                        node.device.read(self.hierarchy.page_size,
+                                         sequential=not node.persistent)
+                        self.store.write_page(content)
+                    self._emit(EventType.WRITE_BACK, page_id, tier=Tier.SSD,
+                               src=node.tier, dirty=True)
+                    node.pool.remove(descriptor)
+                    shared.detach(node.tier)
         else:
             # Clean pages need no write-back (the SSD copy is valid,
-            # §3.3), but they are still *considered* for NVM admission:
-            # the NVM buffer acts as a victim cache for DRAM, which is
-            # the only way it fills on read-mostly workloads (Table 2
-            # shows substantial NVM occupancy on YCSB-RO at every N).
-            admitted = False
-            if self.has_nvm and shared.copy_on(Tier.NVM) is None:
-                if self.admission_queue is not None:
-                    admitted = self.admission_queue.should_admit(page_id)
-                else:
-                    admitted = policy.admit_to_nvm_on_eviction(self.rng)
+            # §3.3), but they are still *considered* for admission below:
+            # the lower buffer acts as a victim cache for the tier above,
+            # which is the only way it fills on read-mostly workloads
+            # (Table 2 shows substantial NVM occupancy on YCSB-RO at
+            # every N).
+            admitted = (
+                lower is not None
+                and shared.copy_on(lower.tier) is None
+                and self.engine.decide(
+                    Edge(node.tier, lower.tier), MigrationOp.EVICT_ADMIT, page_id
+                )
+            )
             if admitted:
-                self._admit_eviction_to_nvm(shared, descriptor, content)
+                self._admit_eviction_to_lower(shared, descriptor, content,
+                                              node, lower)
             else:
-                with shared.latched(Tier.DRAM):
-                    self.stats.clean_drops += 1
-                    self.pools[Tier.DRAM].remove(descriptor)
-                    shared.detach(Tier.DRAM)
+                with shared.latched(node.tier):
+                    self._emit(EventType.CLEAN_DROP, page_id, tier=node.tier)
+                    node.pool.remove(descriptor)
+                    shared.detach(node.tier)
         self._gc_descriptor(shared)
 
-    def _admit_eviction_to_nvm(self, shared: SharedPageDescriptor,
-                               descriptor: TierPageDescriptor,
-                               content: Page) -> None:
-        """Move a DRAM eviction into the NVM buffer (path ⑤ of Fig. 3)."""
-        with shared.latched(Tier.DRAM, Tier.NVM):
-            nvm_desc = shared.copy_on(Tier.NVM)
-            nvm_device = self._device(Tier.NVM)
-            self._device(Tier.DRAM).read(self.hierarchy.page_size, sequential=True)
+    def _admit_eviction_to_lower(self, shared: SharedPageDescriptor,
+                                 descriptor: TierPageDescriptor, content: Page,
+                                 node: TierNode, lower: TierNode) -> None:
+        """Move an eviction one edge down the chain (path ⑤ of Fig. 3)."""
+        page_id = content.page_id
+        with shared.latched(node.tier, lower.tier):
+            lower_desc = shared.copy_on(lower.tier)
+            node.device.read(self.hierarchy.page_size, sequential=True)
             self._cpu(self.hierarchy.cpu_costs.copy_ns(self.hierarchy.page_size))
-            if nvm_desc is not None:
-                nvm_desc.content.copy_from(content)
-                _device_write(nvm_device, content.page_id,
-                              self.hierarchy.page_size)
-                nvm_device.persist_barrier()
+            if lower_desc is not None:
+                lower_desc.content.copy_from(content)
+                _device_write(lower.device, page_id, self.hierarchy.page_size)
+                if lower.persistent:
+                    lower.device.persist_barrier()
                 if descriptor.dirty:
-                    nvm_desc.mark_dirty()
+                    lower_desc.mark_dirty()
             else:
-                self.pools[Tier.DRAM].remove(descriptor)
-                shared.detach(Tier.DRAM)
-                nvm_desc = self._insert_with_space(
-                    Tier.NVM, content.clone(), self.hierarchy.page_size,
-                    protect=content.page_id,
+                node.pool.remove(descriptor)
+                shared.detach(node.tier)
+                lower_desc = self._insert_with_space(
+                    lower.tier, content.clone(), self.hierarchy.page_size,
+                    protect=page_id,
                 )
-                shared.attach(nvm_desc)
-                _device_write(nvm_device, content.page_id,
-                              self.hierarchy.page_size)
-                nvm_device.persist_barrier()
+                shared.attach(lower_desc)
+                _device_write(lower.device, page_id, self.hierarchy.page_size)
+                if lower.persistent:
+                    lower.device.persist_barrier()
                 if descriptor.dirty:
-                    nvm_desc.mark_dirty()
-                self.stats.dram_to_nvm += 1
+                    lower_desc.mark_dirty()
+                self._emit(EventType.MIGRATE_DOWN, page_id, tier=lower.tier,
+                           src=node.tier, dirty=descriptor.dirty)
                 return
-            # NVM copy already existed: just drop the DRAM frame.
-            self.pools[Tier.DRAM].remove(descriptor)
-            shared.detach(Tier.DRAM)
-            self.stats.dram_to_nvm += 1
+            # The lower copy already existed: just drop the upper frame.
+            node.pool.remove(descriptor)
+            shared.detach(node.tier)
+            self._emit(EventType.MIGRATE_DOWN, page_id, tier=lower.tier,
+                       src=node.tier, dirty=descriptor.dirty)
 
     def _writeback_lines_to_nvm(self, shared: SharedPageDescriptor,
                                 descriptor: TierPageDescriptor) -> None:
@@ -1058,37 +1011,6 @@ class BufferManager:
             if nvm_desc is not None:
                 nvm_desc.mark_dirty()
         descriptor.clear_dirty()
-
-    def _evict_from_nvm(self, descriptor: TierPageDescriptor) -> None:
-        costs = self.hierarchy.cpu_costs
-        self._cpu(costs.eviction_ns)
-        page_id = descriptor.page_id
-        shared = self.table.get(page_id)
-        if shared is None:  # pragma: no cover - defensive
-            self.pools[Tier.NVM].remove(descriptor)
-            return
-        self.stats.nvm_evictions += 1
-        # A partial DRAM copy backed by this NVM page must become
-        # self-contained before the backing disappears.
-        dram_desc = shared.copy_on(Tier.DRAM)
-        if dram_desc is not None and isinstance(
-            dram_desc.content, (CacheLinePage, MiniPage)
-        ):
-            with shared.latched(Tier.DRAM, Tier.NVM):
-                self._writeback_lines_to_nvm(shared, dram_desc)
-                self._promote_to_full_residency(dram_desc)
-        with shared.latched(Tier.NVM, Tier.SSD):
-            if descriptor.dirty:
-                content = descriptor.content
-                if isinstance(content, Page):
-                    self._device(Tier.NVM).read(self.hierarchy.page_size)
-                    self.store.write_page(content)
-                self.stats.nvm_to_ssd += 1
-            else:
-                self.stats.clean_drops += 1
-            self.pools[Tier.NVM].remove(descriptor)
-            shared.detach(Tier.NVM)
-        self._gc_descriptor(shared)
 
     def _gc_descriptor(self, shared: SharedPageDescriptor) -> None:
         """Mapping entries are deliberately *not* garbage collected.

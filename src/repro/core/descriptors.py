@@ -1,9 +1,12 @@
 """Page descriptors and the per-tier latching protocol (§5.1, §5.2, Fig. 4).
 
 Every logical page known to the buffer manager has one *shared page
-descriptor* in the mapping table.  The shared descriptor carries three
-latches — one per storage tier — plus pointers to the per-tier page
-descriptors for whichever tiers currently hold a copy.
+descriptor* in the mapping table.  The shared descriptor carries one
+latch per storage tier plus pointers to the per-tier page descriptors
+for whichever buffer tiers currently hold a copy.  Copies and latches
+are indexed by the tier's rank in the canonical top-down ordering, so
+the descriptor supports an arbitrary-depth tier chain (DRAM, CXL, NVM,
+...) without naming tiers.
 
 A migration from tier X to tier Y acquires exactly the X and Y latches,
 so e.g. an NVM→SSD write-back never blocks operations on the DRAM copy.
@@ -12,8 +15,8 @@ NVM copy are dropped before copying (§5.2), which the descriptor exposes
 via :meth:`SharedPageDescriptor.wait_for_unpinned`.
 
 These objects sit on the hottest path of the buffer manager, so they
-avoid dicts and contextlib in favour of slots and a hand-rolled context
-manager.
+avoid dicts and contextlib in favour of slots, rank-indexed lists, and a
+hand-rolled context manager.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from __future__ import annotations
 import threading
 from typing import Union
 
-from ..hardware.specs import Tier
+from ..hardware.specs import TIER_ORDER, Tier
 from ..pages.cacheline_page import CacheLinePage
 from ..pages.mini_page import MiniPage
 from ..pages.page import Page, PageId
@@ -32,7 +35,10 @@ FrameContent = Union[Page, CacheLinePage, MiniPage]
 
 #: Canonical (top-down) latch acquisition order, preventing deadlock
 #: between concurrent migrations along different paths of the same page.
-_TIER_ORDER = {Tier.DRAM: 0, Tier.NVM: 1, Tier.SSD: 2}
+_TIER_ORDER = {tier: tier.rank for tier in TIER_ORDER}
+
+#: The bottom (store) tier holds no buffer copy.
+_STORE_TIER = TIER_ORDER[-1]
 
 
 class TierPageDescriptor:
@@ -118,86 +124,70 @@ class SharedPageDescriptor:
 
     __slots__ = (
         "page_id",
-        "latch_dram",
-        "latch_nvm",
-        "latch_ssd",
-        "dram_pd",
-        "nvm_pd",
+        "_latches",
+        "_copies",
         "_unpin_cv",
     )
 
     def __init__(self, page_id: PageId) -> None:
         self.page_id = page_id
-        self.latch_dram = threading.RLock()
-        self.latch_nvm = threading.RLock()
-        self.latch_ssd = threading.RLock()
-        self.dram_pd: TierPageDescriptor | None = None
-        self.nvm_pd: TierPageDescriptor | None = None
+        self._latches = tuple(threading.RLock() for _ in TIER_ORDER)
+        self._copies: list[TierPageDescriptor | None] = [None] * len(TIER_ORDER)
         self._unpin_cv = threading.Condition()
 
     # ------------------------------------------------------------------
     # Latching
     # ------------------------------------------------------------------
     def latch(self, tier: Tier):
-        if tier is Tier.DRAM:
-            return self.latch_dram
-        if tier is Tier.NVM:
-            return self.latch_nvm
-        return self.latch_ssd
+        return self._latches[tier.rank]
 
     def latched(self, *tiers: Tier) -> _LatchGuard:
         """Acquire the latches for ``tiers`` in canonical (top-down) order."""
         ordered = sorted(set(tiers), key=_TIER_ORDER.__getitem__)
-        return _LatchGuard(tuple(self.latch(t) for t in ordered))
+        return _LatchGuard(tuple(self._latches[t.rank] for t in ordered))
 
     # ------------------------------------------------------------------
     # Tier copies
     # ------------------------------------------------------------------
     def copy_on(self, tier: Tier) -> TierPageDescriptor | None:
-        if tier is Tier.DRAM:
-            return self.dram_pd
-        if tier is Tier.NVM:
-            return self.nvm_pd
-        return None
+        return self._copies[tier.rank]
 
     def attach(self, descriptor: TierPageDescriptor) -> None:
-        if descriptor.tier is Tier.DRAM:
-            if self.dram_pd is not None:
-                raise RuntimeError(
-                    f"page {self.page_id} already has a copy on DRAM"
-                )
-            self.dram_pd = descriptor
-        elif descriptor.tier is Tier.NVM:
-            if self.nvm_pd is not None:
-                raise RuntimeError(
-                    f"page {self.page_id} already has a copy on NVM"
-                )
-            self.nvm_pd = descriptor
-        else:
-            raise ValueError("only DRAM and NVM copies are tracked")
+        tier = descriptor.tier
+        if tier is _STORE_TIER:
+            raise ValueError("only buffer-tier (non-SSD) copies are tracked")
+        if self._copies[tier.rank] is not None:
+            raise RuntimeError(
+                f"page {self.page_id} already has a copy on {tier.name}"
+            )
+        self._copies[tier.rank] = descriptor
 
     def detach(self, tier: Tier) -> TierPageDescriptor:
-        descriptor = self.copy_on(tier)
+        descriptor = self._copies[tier.rank]
         if descriptor is None:
             raise RuntimeError(f"page {self.page_id} has no copy on {tier.name}")
-        if tier is Tier.DRAM:
-            self.dram_pd = None
-        else:
-            self.nvm_pd = None
+        self._copies[tier.rank] = None
         return descriptor
+
+    # Legacy accessors for the paper's fixed three-tier layout (Fig. 4
+    # names the fields dram_pd / nvm_pd).
+    @property
+    def dram_pd(self) -> TierPageDescriptor | None:
+        return self._copies[Tier.DRAM.rank]
+
+    @property
+    def nvm_pd(self) -> TierPageDescriptor | None:
+        return self._copies[Tier.NVM.rank]
 
     @property
     def resident_tiers(self) -> tuple[Tier, ...]:
-        tiers = []
-        if self.dram_pd is not None:
-            tiers.append(Tier.DRAM)
-        if self.nvm_pd is not None:
-            tiers.append(Tier.NVM)
-        return tuple(tiers)
+        return tuple(
+            tier for tier in TIER_ORDER if self._copies[tier.rank] is not None
+        )
 
     @property
     def buffered(self) -> bool:
-        return self.dram_pd is not None or self.nvm_pd is not None
+        return any(copy is not None for copy in self._copies)
 
     # ------------------------------------------------------------------
     # Unpin waiting (the NVM→DRAM migration protocol, §5.2)

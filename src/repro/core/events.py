@@ -1,0 +1,196 @@
+"""Typed buffer-manager events and the instrumentation bus.
+
+The tier chain emits one :class:`BufferEvent` per notable action — hits,
+misses, installs, migrations up/down the chain, evictions, write-backs,
+flushes, fine-grained loads — and every consumer subscribes to the same
+:class:`EventBus`:
+
+* :class:`StatsProjector` projects events onto the legacy
+  :class:`~repro.core.stats.BufferStats` counters (so the Table-2 /
+  Fig-6..15 reporting pipeline is unchanged),
+* the :class:`~repro.tuning.controller.AdaptiveController` counts epoch
+  operations by subscription instead of polling ``stats.operations``,
+* the bench-side :class:`~repro.bench.event_trace.EventTraceRecorder`
+  aggregates per-edge traffic for any chain depth.
+
+The bus sits on the hottest path, so emission is a plain loop over a
+tuple of callables and events are ``__slots__`` objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from ..hardware.specs import Tier
+from ..pages.page import PageId
+
+
+class EventType(enum.Enum):
+    """The kinds of events the tier chain emits."""
+
+    #: One logical buffer-manager operation started (read or write).
+    OP_READ = "op_read"
+    OP_WRITE = "op_write"
+    #: The page was found buffered on ``tier``.
+    HIT = "hit"
+    #: The page was not buffered anywhere; an SSD fetch follows.
+    MISS = "miss"
+    #: A page copy was installed on ``tier`` straight from the store.
+    INSTALL = "install"
+    #: A copy moved up the chain (``src`` → ``tier``); the lower copy stays.
+    MIGRATE_UP = "migrate_up"
+    #: A copy moved down the chain on eviction/flush (``src`` → ``tier``).
+    MIGRATE_DOWN = "migrate_down"
+    #: A victim was selected for eviction on ``tier``.
+    EVICT = "evict"
+    #: A dirty page was written back to the store from ``tier``.
+    WRITE_BACK = "write_back"
+    #: A clean page was dropped from ``tier`` without any write.
+    CLEAN_DROP = "clean_drop"
+    #: A dirty page was made durable by the checkpoint flush path.
+    FLUSH = "flush"
+    #: An access was served in place on a non-top tier (DRAM bypass).
+    DIRECT_READ = "direct_read"
+    DIRECT_WRITE = "direct_write"
+    #: A cache-line-grained load pulled lines from the NVM backing page.
+    FINE_GRAINED_LOAD = "fine_grained_load"
+    #: A mini page overflowed and was promoted to a full cache-line page.
+    MINI_PAGE_PROMOTION = "mini_page_promotion"
+
+
+class BufferEvent:
+    """One instrumentation record emitted by the tier chain."""
+
+    __slots__ = ("type", "page_id", "tier", "src", "dirty")
+
+    def __init__(
+        self,
+        type: EventType,
+        page_id: PageId,
+        tier: Tier | None = None,
+        src: Tier | None = None,
+        dirty: bool = False,
+    ) -> None:
+        self.type = type
+        self.page_id = page_id
+        #: The tier the event happened on (destination for migrations).
+        self.tier = tier
+        #: Source tier for migrations / write-backs.
+        self.src = src
+        self.dirty = dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        src = f", src={self.src.name}" if self.src is not None else ""
+        tier = f", tier={self.tier.name}" if self.tier is not None else ""
+        return f"BufferEvent({self.type.value}, page={self.page_id}{tier}{src})"
+
+
+EventHandler = Callable[[BufferEvent], None]
+
+
+class EventBus:
+    """A minimal synchronous publish/subscribe hub.
+
+    Subscription changes rebuild an immutable handler tuple, so
+    :meth:`emit` — called many times per buffer operation — is a plain
+    iteration with no locking.
+    """
+
+    __slots__ = ("_handlers",)
+
+    def __init__(self) -> None:
+        self._handlers: tuple[EventHandler, ...] = ()
+
+    def subscribe(self, handler: EventHandler) -> EventHandler:
+        """Register ``handler`` and return it (for later unsubscribe)."""
+        self._handlers = self._handlers + (handler,)
+        return handler
+
+    def unsubscribe(self, handler: EventHandler) -> None:
+        self._handlers = tuple(h for h in self._handlers if h is not handler)
+
+    def emit(self, event: BufferEvent) -> None:
+        for handler in self._handlers:
+            handler(event)
+
+    @property
+    def num_subscribers(self) -> int:
+        return len(self._handlers)
+
+
+class StatsProjector:
+    """Projects chain events onto the legacy :class:`BufferStats` counters.
+
+    The paper's counters name DRAM and NVM explicitly (``dram_hits``,
+    ``ssd_to_nvm``, ...), so the projection maps tier-generic events onto
+    those fields for the tiers they name and additionally keeps generic
+    per-tier tallies (``hits_by_tier``) that cover chains of any depth —
+    a CXL hit is visible there even though no legacy field names it.
+    """
+
+    def __init__(self, owner) -> None:
+        #: The buffer manager whose ``stats`` object receives the counts.
+        #: Resolved per event so that ``reset_stats()`` (which swaps in a
+        #: fresh BufferStats) needs no re-subscription.
+        self._owner = owner
+        self.hits_by_tier: dict[Tier, int] = {}
+
+    def reset(self) -> None:
+        self.hits_by_tier.clear()
+
+    # ------------------------------------------------------------------
+    def __call__(self, event: BufferEvent) -> None:
+        stats = self._owner.stats
+        etype = event.type
+        tier = event.tier
+        if etype is EventType.OP_READ:
+            stats.reads += 1
+        elif etype is EventType.OP_WRITE:
+            stats.writes += 1
+        elif etype is EventType.HIT:
+            self.hits_by_tier[tier] = self.hits_by_tier.get(tier, 0) + 1
+            if tier is Tier.DRAM:
+                stats.dram_hits += 1
+            else:
+                # Any non-top hit counts toward the paper's NVM-hit
+                # column only when it is genuinely the NVM tier.
+                if tier is Tier.NVM:
+                    stats.nvm_hits += 1
+        elif etype is EventType.MISS:
+            stats.ssd_fetches += 1
+        elif etype is EventType.INSTALL:
+            if tier is Tier.DRAM:
+                stats.ssd_to_dram += 1
+            elif tier is Tier.NVM:
+                stats.ssd_to_nvm += 1
+        elif etype is EventType.MIGRATE_UP:
+            if event.src is Tier.NVM and tier is Tier.DRAM:
+                stats.nvm_to_dram += 1
+        elif etype is EventType.MIGRATE_DOWN:
+            if event.src is Tier.DRAM and tier is Tier.NVM:
+                stats.dram_to_nvm += 1
+        elif etype is EventType.EVICT:
+            if tier is Tier.DRAM:
+                stats.dram_evictions += 1
+            elif tier is Tier.NVM:
+                stats.nvm_evictions += 1
+        elif etype is EventType.WRITE_BACK:
+            if event.src is Tier.DRAM:
+                stats.dram_to_ssd += 1
+            elif event.src is Tier.NVM:
+                stats.nvm_to_ssd += 1
+        elif etype is EventType.CLEAN_DROP:
+            stats.clean_drops += 1
+        elif etype is EventType.FLUSH:
+            stats.dirty_page_flushes += 1
+        elif etype is EventType.DIRECT_READ:
+            if tier is Tier.NVM:
+                stats.nvm_direct_reads += 1
+        elif etype is EventType.DIRECT_WRITE:
+            if tier is Tier.NVM:
+                stats.nvm_direct_writes += 1
+        elif etype is EventType.FINE_GRAINED_LOAD:
+            stats.fine_grained_loads += 1
+        elif etype is EventType.MINI_PAGE_PROMOTION:
+            stats.mini_page_promotions += 1

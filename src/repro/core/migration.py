@@ -1,0 +1,101 @@
+"""The migration engine: every probabilistic tier-crossing decision (§3).
+
+The buffer manager's chain walk asks exactly one question of this
+module — :meth:`MigrationEngine.decide` — whenever a page might cross a
+tier edge: promote on a read/write hit, admit an SSD fetch, admit a
+DRAM eviction, or admit a checkpoint flush.  Centralising the draws
+keeps the paper's policy tuple ``<D_r, D_w, N_r, N_w>`` (and HyMem's
+admission queue) in one place and makes the knob-to-edge mapping for
+deeper chains explicit:
+
+* *promotions* into any node draw the DRAM knobs (``D_r``/``D_w``),
+* *admissions* into any non-top node draw the NVM knobs
+  (``N_r`` on fetch, ``N_w`` on eviction/flush),
+* the admission queue, when configured, replaces the ``N_w`` draw for
+  the NVM-role node only (HyMem has no notion of other tiers).
+
+For the paper's three-tier chain this reduces exactly to §3's four
+probabilities; for a four-tier DRAM→CXL→NVM→SSD chain the CXL node
+reuses the DRAM knobs for promotion into it and the NVM knobs for
+admission into it, which is the documented default (Fig. 16 direction).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from ..hardware.specs import Tier
+from ..pages.page import PageId
+from .admission import AdmissionQueue
+from .policy import MigrationPolicy
+
+
+class MigrationOp(enum.Enum):
+    """The kinds of tier-crossing decisions the chain walk makes."""
+
+    #: Promote a buffered page one edge up to serve a read (§3.1, D_r).
+    PROMOTE_READ = "promote_read"
+    #: Route a write through the upper tier instead of in place (§3.2, D_w).
+    PROMOTE_WRITE = "promote_write"
+    #: Admit an SSD fetch into a non-top buffer tier (§3.3, N_r).
+    FETCH_ADMIT = "fetch_admit"
+    #: Admit an eviction from the tier above (§3.4, N_w / admission queue).
+    EVICT_ADMIT = "evict_admit"
+    #: Admit a checkpoint flush instead of paying the SSD write.
+    FLUSH_ADMIT = "flush_admit"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed tier edge ``src → dst`` (``dst`` receives the copy)."""
+
+    src: Tier
+    dst: Tier
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Edge({self.src.name}→{self.dst.name})"
+
+
+class MigrationEngine:
+    """Owns the RNG, the policy draws, and the admission queue.
+
+    The policy itself stays swappable at runtime (the adaptive tuner
+    replaces it between epochs), so ``decide`` re-reads it from the
+    owning buffer manager unless the caller passes the snapshot it took
+    at the start of the operation — the chain walk does, preserving the
+    invariant that one logical operation sees one policy.
+    """
+
+    __slots__ = ("_owner", "rng", "admission_queue")
+
+    def __init__(self, owner, rng: random.Random,
+                 admission_queue: AdmissionQueue | None = None) -> None:
+        self._owner = owner
+        self.rng = rng
+        self.admission_queue = admission_queue
+
+    # ------------------------------------------------------------------
+    def decide(self, edge: Edge, op: MigrationOp, page_id: PageId,
+               policy: MigrationPolicy | None = None) -> bool:
+        """Should ``page_id`` cross ``edge`` for this ``op``?
+
+        Draw accounting matters: the underlying Bernoulli draw consumes
+        RNG state only for probabilities strictly between 0 and 1, and
+        the admission queue mutates on *every* consultation — so callers
+        must ask exactly once per actual decision point.
+        """
+        if policy is None:
+            policy = self._owner.policy
+        if op is MigrationOp.PROMOTE_READ:
+            return policy.promote_to_dram_on_read(self.rng)
+        if op is MigrationOp.PROMOTE_WRITE:
+            return policy.route_write_through_dram(self.rng)
+        if op is MigrationOp.FETCH_ADMIT:
+            return policy.admit_to_nvm_on_fetch(self.rng)
+        if op in (MigrationOp.EVICT_ADMIT, MigrationOp.FLUSH_ADMIT):
+            if self.admission_queue is not None and edge.dst is Tier.NVM:
+                return self.admission_queue.should_admit(page_id)
+            return policy.admit_to_nvm_on_eviction(self.rng)
+        raise ValueError(f"unknown migration op {op}")  # pragma: no cover

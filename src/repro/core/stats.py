@@ -119,12 +119,31 @@ class InclusivityTracker:
 
     Table 2 of the paper reports steady-state inclusivity; sampling every
     N operations and averaging avoids a misleading single end-of-run
-    observation.
+    observation.  When attached to the buffer manager's event bus the
+    tracker also tallies the up/down migrations between samples, which is
+    the traffic that creates (and destroys) the duplication the ratio
+    measures.
     """
 
     def __init__(self) -> None:
         self._samples: list[InclusivitySample] = []
         self._lock = threading.Lock()
+        self.migrations_up = 0
+        self.migrations_down = 0
+
+    def attach(self, bus) -> "InclusivityTracker":
+        """Subscribe to a :class:`~repro.core.events.EventBus`."""
+        bus.subscribe(self.observe_event)
+        return self
+
+    def observe_event(self, event) -> None:
+        name = event.type.value
+        if name == "migrate_up":
+            with self._lock:
+                self.migrations_up += 1
+        elif name == "migrate_down":
+            with self._lock:
+                self.migrations_down += 1
 
     def sample(self, dram_pages: set[int], nvm_pages: set[int]) -> InclusivitySample:
         observation = InclusivitySample(
@@ -150,3 +169,5 @@ class InclusivityTracker:
     def reset(self) -> None:
         with self._lock:
             self._samples.clear()
+            self.migrations_up = 0
+            self.migrations_down = 0

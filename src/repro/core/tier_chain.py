@@ -1,0 +1,297 @@
+"""The composable tier chain: buffer pools stacked into an ordered chain.
+
+A :class:`TierNode` bundles everything one buffer tier needs — its
+:class:`BufferPool`, its simulated device, and the per-tier policy
+facts (persistence, which migration knobs apply).  Nodes compose into a
+:class:`TierChain`, ordered fastest-first, and the buffer manager's
+fetch/promotion/eviction/flush paths walk the chain generically instead
+of naming DRAM and NVM.  The paper's three-tier configurations are the
+chains ``[DRAM]``, ``[NVM]``, and ``[DRAM, NVM]`` over an SSD store; a
+four-tier DRAM→CXL→NVM→SSD hierarchy is simply the chain
+``[DRAM, CXL, NVM]`` and needs no new buffer-manager code.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..hardware.cost_model import StorageHierarchy
+from ..hardware.device import Device
+from ..hardware.memory_mode import MemoryModeDevice
+from ..hardware.specs import BUFFER_TIER_ORDER, Tier
+from ..pages.page import PageId
+from ..replacement import make_replacer
+from .descriptors import TierPageDescriptor
+
+
+class BufferFullError(RuntimeError):
+    """All frames of a buffer are pinned; no victim can be found."""
+
+
+class BufferPool:
+    """One tier's frame pool: frames, occupancy accounting, replacer.
+
+    Capacity is tracked in bytes so that mini pages (which occupy ~1 KB
+    instead of 16 KB) genuinely increase how many pages fit — the whole
+    point of the mini-page optimization.
+    """
+
+    def __init__(self, tier: Tier, capacity_bytes: int, replacement: str,
+                 min_entry_bytes: int) -> None:
+        if capacity_bytes < min_entry_bytes:
+            raise ValueError(
+                f"{tier.name} pool of {capacity_bytes} B cannot hold even one "
+                f"entry of {min_entry_bytes} B"
+            )
+        self.tier = tier
+        self.capacity_bytes = capacity_bytes
+        self.max_entries = capacity_bytes // min_entry_bytes
+        self.replacer = make_replacer(replacement, self.max_entries)
+        self._frames: list[TierPageDescriptor | None] = [None] * self.max_entries
+        self._free = list(range(self.max_entries - 1, -1, -1))
+        self._by_page: dict[PageId, TierPageDescriptor] = {}
+        self._entry_bytes: dict[int, int] = {}
+        self.used_bytes = 0
+        self.lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def get(self, page_id: PageId) -> TierPageDescriptor | None:
+        with self.lock:
+            descriptor = self._by_page.get(page_id)
+        if descriptor is not None:
+            self.replacer.record_access(descriptor.frame_index)
+        return descriptor
+
+    def peek(self, page_id: PageId) -> TierPageDescriptor | None:
+        """Lookup without touching the replacement state."""
+        with self.lock:
+            return self._by_page.get(page_id)
+
+    def needs_space(self, incoming_bytes: int) -> bool:
+        with self.lock:
+            if not self._free:
+                return True
+            return self.used_bytes + incoming_bytes > self.capacity_bytes
+
+    def insert(self, content, entry_bytes: int) -> TierPageDescriptor:
+        """Install content into a free frame (caller ensured space)."""
+        with self.lock:
+            if content.page_id in self._by_page:
+                raise RuntimeError(
+                    f"page {content.page_id} already resident on {self.tier.name}"
+                )
+            if not self._free:
+                raise BufferFullError(f"{self.tier.name} pool has no free frame")
+            frame = self._free.pop()
+            descriptor = TierPageDescriptor(self.tier, frame, content)
+            self._frames[frame] = descriptor
+            self._by_page[content.page_id] = descriptor
+            self._entry_bytes[frame] = entry_bytes
+            self.used_bytes += entry_bytes
+        self.replacer.insert(frame)
+        return descriptor
+
+    def remove(self, descriptor: TierPageDescriptor) -> None:
+        with self.lock:
+            frame = descriptor.frame_index
+            if self._frames[frame] is not descriptor:
+                raise RuntimeError(
+                    f"descriptor for page {descriptor.page_id} is stale"
+                )
+            self._frames[frame] = None
+            del self._by_page[descriptor.page_id]
+            self.used_bytes -= self._entry_bytes.pop(frame)
+            self._free.append(frame)
+        self.replacer.remove(frame)
+
+    def resize_entry(self, descriptor: TierPageDescriptor, new_bytes: int) -> None:
+        """Adjust occupancy when a mini page is promoted to a full page."""
+        with self.lock:
+            frame = descriptor.frame_index
+            self.used_bytes += new_bytes - self._entry_bytes[frame]
+            self._entry_bytes[frame] = new_bytes
+
+    def pick_victim(self) -> TierPageDescriptor | None:
+        """Atomically claim an unpinned victim.
+
+        The claim (taken under the pool lock) guarantees two concurrent
+        evictors never work on the same frame; the caller must either
+        remove the descriptor or :meth:`unclaim` it.
+        """
+        with self.lock:
+            tracked = len(self.replacer)
+        for _ in range(2 * tracked + 2):
+            frame = self.replacer.victim()
+            if frame is None:
+                return None
+            with self.lock:
+                descriptor = self._frames[frame]
+                if descriptor is not None and not descriptor.pinned \
+                        and not descriptor.claimed:
+                    descriptor.claimed = True
+                    return descriptor
+            if descriptor is None:
+                self.replacer.remove(frame)
+            else:
+                self.replacer.record_access(frame)
+        return None
+
+    def unclaim(self, descriptor: TierPageDescriptor) -> None:
+        """Release an eviction claim without evicting."""
+        with self.lock:
+            descriptor.claimed = False
+
+    def resident_page_ids(self) -> set[PageId]:
+        with self.lock:
+            return set(self._by_page)
+
+    def descriptors(self) -> list[TierPageDescriptor]:
+        with self.lock:
+            return list(self._by_page.values())
+
+    def __len__(self) -> int:
+        with self.lock:
+            return len(self._by_page)
+
+
+class TierNode:
+    """One buffer tier of the chain: pool + device + per-tier facts."""
+
+    __slots__ = ("tier", "pool", "device", "persistent", "index")
+
+    def __init__(self, tier: Tier, pool: BufferPool,
+                 device: Device | MemoryModeDevice, index: int = 0) -> None:
+        self.tier = tier
+        self.pool = pool
+        self.device = device
+        #: Persistent nodes survive a crash and pay persist barriers on
+        #: writes; volatile nodes are dropped by :meth:`simulate_crash`.
+        self.persistent = tier.is_persistent
+        #: Position in the chain (0 is the top/fastest node).
+        self.index = index
+
+    @property
+    def install_sequential(self) -> bool:
+        """Whether page installs on this node charge sequential bandwidth.
+
+        Installs land at arbitrary frame locations, so persistent memory
+        pays its (much lower) random-write bandwidth — 6 GB/s on Optane —
+        while volatile tiers do not distinguish the two.
+        """
+        return not self.persistent
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "persistent" if self.persistent else "volatile"
+        return f"TierNode({self.tier.name}, {kind}, {len(self.pool)} resident)"
+
+
+class TierChain:
+    """An ordered (fastest-first) sequence of buffer tiers over a store.
+
+    The chain is the single source of truth for tier topology: which
+    buffer tiers exist, their order, and which are persistent.  Lookups
+    are O(1) via a rank-indexed table.
+    """
+
+    __slots__ = ("nodes", "_by_tier")
+
+    def __init__(self, nodes: tuple[TierNode, ...] | list[TierNode]) -> None:
+        ordered = tuple(sorted(nodes, key=lambda n: n.tier.rank))
+        for index, node in enumerate(ordered):
+            node.index = index
+        self.nodes: tuple[TierNode, ...] = ordered
+        self._by_tier = {node.tier: node for node in ordered}
+        if len(self._by_tier) != len(ordered):
+            raise ValueError("duplicate tier in chain")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, hierarchy: StorageHierarchy, replacement: str,
+              top_entry_bytes: int | None = None) -> "TierChain":
+        """Create a chain with one node per buffer tier of ``hierarchy``.
+
+        ``top_entry_bytes`` shrinks the top node's minimum entry size so
+        mini pages genuinely raise its page count; all other nodes hold
+        full pages.
+        """
+        nodes = []
+        page_size = hierarchy.page_size
+        for tier in BUFFER_TIER_ORDER:
+            if not hierarchy.has_tier(tier):
+                continue
+            device = hierarchy.device(tier)
+            capacity = device.capacity_bytes or 0
+            entry = page_size
+            if not nodes and top_entry_bytes is not None:
+                entry = top_entry_bytes
+            pool = BufferPool(tier, capacity, replacement, entry)
+            nodes.append(TierNode(tier, pool, device))
+        return cls(nodes)
+
+    # ------------------------------------------------------------------
+    # Lookup / topology
+    # ------------------------------------------------------------------
+    def get(self, tier: Tier) -> TierNode | None:
+        return self._by_tier.get(tier)
+
+    def node(self, tier: Tier) -> TierNode:
+        try:
+            return self._by_tier[tier]
+        except KeyError:
+            raise KeyError(f"chain has no {tier.name} node") from None
+
+    def __contains__(self, tier: Tier) -> bool:
+        return tier in self._by_tier
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def top(self) -> TierNode | None:
+        """The fastest buffer node (``None`` for a bufferless chain)."""
+        return self.nodes[0] if self.nodes else None
+
+    @property
+    def tiers(self) -> tuple[Tier, ...]:
+        return tuple(node.tier for node in self.nodes)
+
+    def upper_of(self, node: TierNode) -> TierNode | None:
+        """The next-faster node, or ``None`` at the top."""
+        return self.nodes[node.index - 1] if node.index > 0 else None
+
+    def lower_of(self, node: TierNode) -> TierNode | None:
+        """The next-slower buffer node, or ``None`` at the bottom."""
+        index = node.index + 1
+        return self.nodes[index] if index < len(self.nodes) else None
+
+    def below(self, node: TierNode) -> tuple[TierNode, ...]:
+        """All buffer nodes strictly below ``node``, fastest first."""
+        return self.nodes[node.index + 1:]
+
+    def first_persistent_below(self, node: TierNode) -> TierNode | None:
+        """The nearest persistent buffer node below ``node``.
+
+        This is where checkpoint flushes from a volatile tier can land
+        instead of paying the SSD write (§3.4 applied to checkpoints).
+        """
+        for lower in self.below(node):
+            if lower.persistent:
+                return lower
+        return None
+
+    @property
+    def persistent_nodes(self) -> tuple[TierNode, ...]:
+        return tuple(node for node in self.nodes if node.persistent)
+
+    @property
+    def volatile_nodes(self) -> tuple[TierNode, ...]:
+        return tuple(node for node in self.nodes if not node.persistent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        chain = "→".join(node.tier.name for node in self.nodes) or "∅"
+        return f"TierChain({chain}→SSD)"

@@ -15,11 +15,14 @@ from .pricing import (
     equi_cost_nvm_gb,
     hierarchy_cost,
     performance_per_price,
+    spec_for,
 )
 from .simclock import CostAccumulator, ResourceUsage, SimClock
 from .specs import (
+    BUFFER_TIER_ORDER,
     CACHE_LINE_SIZE,
     CACHE_LINES_PER_PAGE,
+    CXL_SPEC,
     DEFAULT_SCALE,
     DEFAULT_SPECS,
     DRAM_SPEC,
@@ -30,6 +33,7 @@ from .specs import (
     NVM_SPEC,
     PAGE_SIZE,
     SSD_SPEC,
+    TIER_ORDER,
     Addressability,
     DeviceSpec,
     SimulationScale,
@@ -38,8 +42,10 @@ from .specs import (
 
 __all__ = [
     "Addressability",
+    "BUFFER_TIER_ORDER",
     "CACHE_LINES_PER_PAGE",
     "CACHE_LINE_SIZE",
+    "CXL_SPEC",
     "CostAccumulator",
     "CpuCosts",
     "DEFAULT_CPU_COSTS",
@@ -63,9 +69,11 @@ __all__ = [
     "SimClock",
     "SimulationScale",
     "StorageHierarchy",
+    "TIER_ORDER",
     "Tier",
     "cpu_charge",
     "equi_cost_nvm_gb",
     "hierarchy_cost",
     "performance_per_price",
+    "spec_for",
 ]

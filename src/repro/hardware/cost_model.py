@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from .device import Device
 from .memory_mode import MemoryModeDevice
-from .pricing import HierarchyShape, hierarchy_cost
+from .pricing import HierarchyShape, hierarchy_cost, spec_for
 from .simclock import CostAccumulator, SimClock
 from .specs import (
     DEFAULT_SCALE,
@@ -120,21 +120,17 @@ class StorageHierarchy:
                 page_size=self.page_size,
             )
         else:
-            if self.shape.dram_gb > 0:
-                self.devices[Tier.DRAM] = Device(
-                    self.specs[Tier.DRAM],
-                    self._capacity_bytes(self.shape.dram_gb),
-                    self.cost,
-                )
-            if self.shape.nvm_gb > 0:
-                self.devices[Tier.NVM] = Device(
-                    self.specs[Tier.NVM],
-                    self._capacity_bytes(self.shape.nvm_gb),
-                    self.cost,
-                )
+            for tier in (Tier.DRAM, Tier.CXL, Tier.NVM):
+                capacity_gb = self.shape.capacity_gb(tier)
+                if capacity_gb > 0:
+                    self.devices[tier] = Device(
+                        spec_for(tier, self.specs),
+                        self._capacity_bytes(capacity_gb),
+                        self.cost,
+                    )
         if self.shape.ssd_gb > 0:
             self.devices[Tier.SSD] = Device(
-                self.specs[Tier.SSD],
+                spec_for(Tier.SSD, self.specs),
                 self._capacity_bytes(self.shape.ssd_gb),
                 self.cost,
             )

@@ -9,33 +9,33 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .specs import DEFAULT_SPECS, DeviceSpec, Tier
+from .specs import CXL_SPEC, DEFAULT_SPECS, TIER_ORDER, DeviceSpec, Tier
 
 
 @dataclass(frozen=True)
 class HierarchyShape:
-    """Per-tier capacities, in (paper-scale) gigabytes."""
+    """Per-tier capacities, in (paper-scale) gigabytes.
+
+    ``cxl_gb`` adds an optional CXL memory-expander tier between DRAM and
+    NVM; the paper's three-tier configurations simply leave it at zero.
+    (It is deliberately the last field so positional construction stays
+    ``HierarchyShape(dram_gb, nvm_gb, ssd_gb)``.)
+    """
 
     dram_gb: float = 0.0
     nvm_gb: float = 0.0
     ssd_gb: float = 0.0
+    cxl_gb: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("dram_gb", "nvm_gb", "ssd_gb"):
+        for name in ("dram_gb", "nvm_gb", "ssd_gb", "cxl_gb"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
 
     @property
     def tiers(self) -> tuple[Tier, ...]:
         """Tiers with non-zero capacity, top-down."""
-        present = []
-        if self.dram_gb > 0:
-            present.append(Tier.DRAM)
-        if self.nvm_gb > 0:
-            present.append(Tier.NVM)
-        if self.ssd_gb > 0:
-            present.append(Tier.SSD)
-        return tuple(present)
+        return tuple(t for t in TIER_ORDER if self.capacity_gb(t) > 0)
 
     @property
     def label(self) -> str:
@@ -45,9 +45,24 @@ class HierarchyShape:
     def capacity_gb(self, tier: Tier) -> float:
         return {
             Tier.DRAM: self.dram_gb,
+            Tier.CXL: self.cxl_gb,
             Tier.NVM: self.nvm_gb,
             Tier.SSD: self.ssd_gb,
         }[tier]
+
+
+def spec_for(tier: Tier, specs: dict[Tier, DeviceSpec] | None = None) -> DeviceSpec:
+    """Resolve the spec for ``tier``; CXL falls back to :data:`CXL_SPEC`.
+
+    ``DEFAULT_SPECS`` intentionally stays the paper's three Table-1 rows,
+    so the optional CXL tier resolves through its own default spec.
+    """
+    table = specs or DEFAULT_SPECS
+    if tier in table:
+        return table[tier]
+    if tier is Tier.CXL:
+        return CXL_SPEC
+    raise KeyError(f"no device spec for tier {tier.name}")
 
 
 def hierarchy_cost(
@@ -55,10 +70,9 @@ def hierarchy_cost(
     specs: dict[Tier, DeviceSpec] | None = None,
 ) -> float:
     """Total device cost of ``shape`` in dollars."""
-    table = specs or DEFAULT_SPECS
     return sum(
-        shape.capacity_gb(tier) * table[tier].price_per_gb
-        for tier in (Tier.DRAM, Tier.NVM, Tier.SSD)
+        shape.capacity_gb(tier) * spec_for(tier, specs).price_per_gb
+        for tier in TIER_ORDER
     )
 
 

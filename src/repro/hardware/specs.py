@@ -36,19 +36,40 @@ NS_PER_S = 1_000_000_000
 
 
 class Tier(enum.Enum):
-    """The three storage tiers managed by the buffer manager."""
+    """The storage tiers a buffer manager may compose into a chain.
+
+    The paper's configurations use DRAM/NVM/SSD; :attr:`CXL` models a
+    CXL-attached memory expander slotted between DRAM and NVM, which the
+    N-tier chain supports as a fourth level (§5.3's "deeper hierarchies"
+    direction).
+    """
 
     DRAM = "dram"
+    CXL = "cxl"
     NVM = "nvm"
     SSD = "ssd"
 
     def __lt__(self, other: "Tier") -> bool:
-        order = {Tier.DRAM: 0, Tier.NVM: 1, Tier.SSD: 2}
-        return order[self] < order[other]
+        return _TIER_RANK[self] < _TIER_RANK[other]
+
+    @property
+    def rank(self) -> int:
+        """Position in the top-down tier ordering (0 is fastest)."""
+        return _TIER_RANK[self]
 
     @property
     def is_persistent(self) -> bool:
-        return self is not Tier.DRAM
+        return self not in (Tier.DRAM, Tier.CXL)
+
+
+#: Canonical top-down ordering of every known tier.
+_TIER_RANK = {Tier.DRAM: 0, Tier.CXL: 1, Tier.NVM: 2, Tier.SSD: 3}
+
+#: All tiers, fastest first.
+TIER_ORDER: tuple[Tier, ...] = (Tier.DRAM, Tier.CXL, Tier.NVM, Tier.SSD)
+
+#: Tiers that may carry a buffer pool (everything above the SSD store).
+BUFFER_TIER_ORDER: tuple[Tier, ...] = (Tier.DRAM, Tier.CXL, Tier.NVM)
 
 
 class Addressability(enum.Enum):
@@ -156,6 +177,28 @@ NVM_SPEC = DeviceSpec(
     persistent=True,
     endurance_cycles=1e10,
     persist_barrier_ns=100.0,
+)
+
+#: A CXL-attached DRAM memory expander (e.g. a CXL 2.0 Type-3 device).
+#: Latency sits between local DRAM and Optane (one switch hop ≈ 170-250 ns
+#: loaded), bandwidth is link-bound (~x8 CXL lanes), and the module price
+#: undercuts local DRAM because it reuses commodity DDR behind the link.
+#: Volatile and byte-addressable, so it slots between DRAM and NVM in a
+#: four-tier chain.
+CXL_SPEC = DeviceSpec(
+    name="CXL DRAM Expander",
+    tier=Tier.CXL,
+    seq_read_latency_ns=180.0,
+    rand_read_latency_ns=250.0,
+    seq_read_bw=_gb_per_s(48.0),
+    rand_read_bw=_gb_per_s(48.0),
+    seq_write_bw=_gb_per_s(48.0),
+    rand_write_bw=_gb_per_s(48.0),
+    price_per_gb=7.0,
+    addressability=Addressability.BYTE,
+    media_granularity=CACHE_LINE_SIZE,
+    persistent=False,
+    endurance_cycles=1e10,
 )
 
 #: Intel Optane DC P4800X SSD.

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.buffer_manager import BufferManager
+from ..core.events import BufferEvent, EventType
 from ..core.policy import MigrationPolicy
 from .annealing import AnnealingSchedule, PolicyAnnealer
 
@@ -54,6 +55,19 @@ class AdaptiveController:
         self._candidate: MigrationPolicy | None = None
         self._baseline: dict | None = None
         self._ops_at_start = 0
+        # Count operations by subscribing to the buffer manager's event
+        # bus rather than polling its stats object, so the measurement
+        # survives a mid-epoch ``reset_stats()``.
+        self._ops_seen = 0
+        buffer_manager.events.subscribe(self._observe_event)
+
+    def _observe_event(self, event: BufferEvent) -> None:
+        if event.type is EventType.OP_READ or event.type is EventType.OP_WRITE:
+            self._ops_seen += 1
+
+    def detach(self) -> None:
+        """Stop observing the buffer manager's event bus."""
+        self.bm.events.unsubscribe(self._observe_event)
 
     # ------------------------------------------------------------------
     def begin_epoch(self) -> MigrationPolicy:
@@ -69,14 +83,14 @@ class AdaptiveController:
         self._candidate = candidate
         self.bm.set_policy(candidate)
         self._baseline = self.bm.hierarchy.cost.snapshot()
-        self._ops_at_start = self.bm.stats.operations
+        self._ops_at_start = self._ops_seen
         return candidate
 
     def end_epoch(self) -> EpochRecord:
         """Measure the epoch and feed the result to the annealer."""
         if self._candidate is None or self._baseline is None:
             raise RuntimeError("begin_epoch was not called")
-        operations = self.bm.stats.operations - self._ops_at_start
+        operations = self._ops_seen - self._ops_at_start
         delta = self.bm.hierarchy.cost.delta_since(self._baseline)
         throughput = delta.throughput(operations, self.workers)
         accepted = self.annealer.observe(self._candidate, throughput)

@@ -14,7 +14,7 @@ from repro.core.analysis import (
     promotion_half_life,
     promotion_probability,
 )
-from repro.core.policy import SPITFIRE_LAZY, MigrationPolicy
+from repro.core.policy import MigrationPolicy
 from repro.hardware.specs import Tier
 
 

@@ -9,7 +9,7 @@ import pytest
 
 from conftest import make_bm
 
-from repro.core.buffer_manager import BufferFullError, BufferManagerConfig
+from repro.core.buffer_manager import BufferFullError
 from repro.core.policy import (
     DRAM_SSD_POLICY,
     NVM_SSD_POLICY,

@@ -5,7 +5,7 @@ import pytest
 from conftest import make_bm
 
 from repro.core.buffer_manager import BufferManagerConfig
-from repro.core.policy import SPITFIRE_EAGER, MigrationPolicy
+from repro.core.policy import SPITFIRE_EAGER
 from repro.hardware.specs import CACHE_LINE_SIZE, PAGE_SIZE, Tier
 from repro.pages.cacheline_page import CacheLinePage
 from repro.pages.granularity import LoadingUnit

@@ -4,7 +4,7 @@ import pytest
 
 from conftest import make_bm
 
-from repro.core.policy import DRAM_SSD_POLICY, SPITFIRE_EAGER
+from repro.core.policy import DRAM_SSD_POLICY
 from repro.hardware.specs import Tier
 from repro.wal.checkpoint import Checkpointer
 from repro.wal.log_manager import LogManager

@@ -9,12 +9,9 @@ afterwards.
 import random
 import threading
 
-import pytest
-
 from conftest import make_bm
 
 from repro.core.policy import SPITFIRE_EAGER, SPITFIRE_LAZY, MigrationPolicy
-from repro.hardware.specs import Tier
 
 
 def run_threads(worker, count=4):

@@ -7,8 +7,6 @@ engine (with conflict aborts and retries) and concurrent WAL appends.
 
 import threading
 
-import pytest
-
 from repro.core.policy import SPITFIRE_EAGER
 from repro.engine.engine import StorageEngine
 from repro.hardware.cost_model import StorageHierarchy

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.policy import DRAM_SSD_POLICY, NVM_SSD_POLICY, SPITFIRE_LAZY
 from repro.design.grid_search import (
-    DesignResult,
     enumerate_shapes,
     grid_search,
     policy_for_shape,

@@ -1,7 +1,5 @@
 """The shared experiment builders (bench/experiments/common)."""
 
-import pytest
-
 from repro.bench.experiments.common import (
     COARSE_SCALE,
     FULL,
@@ -16,7 +14,7 @@ from repro.bench.experiments.common import (
 )
 from repro.core.policy import NVM_SSD_POLICY, SPITFIRE_LAZY
 from repro.hardware.pricing import HierarchyShape
-from repro.hardware.specs import SimulationScale, Tier
+from repro.hardware.specs import SimulationScale
 from repro.workloads.ycsb import YCSB_RO
 
 TINY = SimulationScale(pages_per_gb=4)

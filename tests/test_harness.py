@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.harness import RunConfig, WorkloadRunner
 from repro.core.buffer_manager import BufferManager
-from repro.core.policy import SPITFIRE_EAGER, SPITFIRE_LAZY, NVM_SSD_POLICY
+from repro.core.policy import SPITFIRE_EAGER, NVM_SSD_POLICY
 from repro.hardware.cost_model import StorageHierarchy
 from repro.hardware.pricing import HierarchyShape
 from repro.hardware.specs import SimulationScale, Tier

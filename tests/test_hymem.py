@@ -1,7 +1,5 @@
 """The HyMem baseline configuration (§2.1, §6.5)."""
 
-import pytest
-
 from repro.core.hymem import hymem_policy, make_hymem
 from repro.core.policy import HYMEM_POLICY, NvmAdmission
 from repro.hardware.cost_model import StorageHierarchy

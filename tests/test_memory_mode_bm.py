@@ -6,8 +6,6 @@ unavailable, so the WAL falls back to group commit and every dirty page
 must flush to SSD.
 """
 
-import pytest
-
 from repro.bench.harness import RunConfig, WorkloadRunner
 from repro.core.buffer_manager import BufferManager
 from repro.core.policy import DRAM_SSD_POLICY

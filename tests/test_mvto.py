@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.txn.mvto import INFINITY_TS, MvtoStore, Version, VersionChain, run_transaction
-from repro.txn.transaction import TimestampOracle, TransactionAborted, TxnState
+from repro.txn.mvto import MvtoStore, Version, VersionChain, run_transaction
+from repro.txn.transaction import TimestampOracle, TransactionAborted
 
 
 @pytest.fixture

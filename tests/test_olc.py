@@ -79,7 +79,6 @@ class TestConcurrency:
     def test_writers_are_mutually_exclusive(self):
         latch = OptimisticLatch()
         counter = {"value": 0, "max_in_section": 0}
-        in_section = threading.Semaphore(0)
 
         def writer():
             for _ in range(100):

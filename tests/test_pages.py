@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.specs import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.hardware.specs import CACHE_LINE_SIZE
 from repro.pages.cacheline_page import CacheLinePage
 from repro.pages.mini_page import MINI_PAGE_SLOTS, MiniPage, MiniPageOverflow
 from repro.pages.page import Page

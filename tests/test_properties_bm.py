@@ -10,14 +10,10 @@ checks structural invariants after every step:
 * content read back always matches the model's expectation.
 """
 
-import random as _random
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )

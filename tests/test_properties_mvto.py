@@ -11,7 +11,6 @@ against an oracle:
 * garbage collection never changes the visible state.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule

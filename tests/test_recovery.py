@@ -1,7 +1,5 @@
 """Crash recovery: analysis/redo/undo plus NVM buffer reconstruction."""
 
-import pytest
-
 from conftest import make_bm
 
 from repro.core.policy import DRAM_SSD_POLICY, SPITFIRE_EAGER, MigrationPolicy
@@ -152,8 +150,8 @@ class TestUndo:
         bm, log, recovery = setup_bm(policy=DRAM_SSD_POLICY, nvm_gb=0.0)
         page = bm.allocate_page()
         log.append(LogRecordType.BEGIN, txn_id=2)
-        r1 = log.append(LogRecordType.UPDATE, txn_id=2, page_id=page, slot=0,
-                        before=None, after=b"a")
+        log.append(LogRecordType.UPDATE, txn_id=2, page_id=page, slot=0,
+                   before=None, after=b"a")
         r2 = log.append(LogRecordType.UPDATE, txn_id=2, page_id=page, slot=0,
                         before=b"a", after=b"b")
         descriptor = bm.fetch_page(page, for_write=True)

@@ -1,12 +1,10 @@
 """Simulated annealing and the adaptive controller (§4, §6.4)."""
 
-import math
-
 import pytest
 
 from repro.bench.harness import RunConfig, WorkloadRunner
 from repro.core.buffer_manager import BufferManager
-from repro.core.policy import SPITFIRE_EAGER, MigrationPolicy
+from repro.core.policy import SPITFIRE_EAGER
 from repro.hardware.cost_model import StorageHierarchy
 from repro.hardware.pricing import HierarchyShape
 from repro.hardware.specs import SimulationScale

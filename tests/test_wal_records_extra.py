@@ -1,7 +1,5 @@
 """Additional WAL record and log-manager edge cases."""
 
-import pytest
-
 from repro.hardware.cost_model import StorageHierarchy
 from repro.hardware.pricing import HierarchyShape
 from repro.hardware.specs import SimulationScale

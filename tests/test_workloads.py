@@ -9,7 +9,6 @@ from repro.hardware.specs import PAGE_SIZE, SimulationScale
 from repro.workloads.tpcc import GB_PER_WAREHOUSE, PageAccess, TpccWorkload
 from repro.workloads.trace import Trace
 from repro.workloads.ycsb import (
-    MIXES,
     OpKind,
     TUPLE_SIZE,
     TUPLES_PER_PAGE,

@@ -7,7 +7,7 @@ from repro.engine.engine import StorageEngine
 from repro.hardware.cost_model import StorageHierarchy
 from repro.hardware.pricing import HierarchyShape
 from repro.hardware.specs import SimulationScale
-from repro.workloads.ycsb import OpKind, TUPLE_SIZE, YCSB_BA, YCSB_RO, YCSB_WH
+from repro.workloads.ycsb import TUPLE_SIZE, YCSB_BA, YCSB_RO, YCSB_WH
 from repro.workloads.ycsb_engine import TABLE_NAME, YcsbEngine
 
 
