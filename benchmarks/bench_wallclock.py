@@ -1,0 +1,136 @@
+"""Wall-clock benchmark baseline for the reproduction harness.
+
+Two measurements, written to ``BENCH_repro.json`` next to this script
+(or to ``--out PATH``):
+
+* **cell wall time** — a fixed-seed fig6-style cell (TPC-C on the
+  policy-sweep hierarchy with Spitfire-Lazy) executed end to end
+  through :func:`repro.bench.executor.run_cell`, the unit of work the
+  parallel executor fans out.  Reported serial, and optionally at
+  ``--jobs N`` to show the executor's scaling on this machine.
+* **inner-loop ops/sec** — raw ``BufferManager.read`` calls against a
+  DRAM-resident working set, best of ``--repeats`` passes.  This is the
+  per-operation overhead of the tier chain + event bus + cost model
+  with every cache effect warmed away; hot-path regressions show up
+  here first.
+
+Both use fixed seeds, so reruns on one machine are comparable; numbers
+across machines are not (and the simulated throughputs inside the cell
+are machine-independent by design — only the wall clock varies).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.bench.executor import QUICK, Cell, run_cell, run_cells
+from repro.core.buffer_manager import BufferManager, BufferManagerConfig
+from repro.core.policy import SPITFIRE_LAZY
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import Tier
+
+#: The fig6 experiment's hierarchy and database size (§6.3 sweep).
+SHAPE = HierarchyShape(dram_gb=12.5, nvm_gb=50.0, ssd_gb=200.0)
+DB_GB = 100.0
+
+INNER_LOOP_PAGES = 200
+INNER_LOOP_OPS = 100_000
+
+
+def bench_cell() -> Cell:
+    """The fixed-seed fig6-style unit of work."""
+    return Cell.tpcc("bench/fig6-style", SHAPE, SPITFIRE_LAZY, DB_GB,
+                     effort=QUICK, extra_worker_counts=())
+
+
+def time_cell_serial() -> dict:
+    cell = bench_cell()
+    t0 = time.perf_counter()
+    res = run_cell(cell)
+    elapsed = time.perf_counter() - t0
+    return {
+        "label": cell.label,
+        "wall_seconds": round(elapsed, 3),
+        "simulated_throughput_ops_per_s": res.throughput,
+    }
+
+
+def time_cells_parallel(jobs: int, cells: int) -> dict:
+    batch = [bench_cell() for _ in range(cells)]
+    t0 = time.perf_counter()
+    run_cells(batch, jobs=1)
+    serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_cells(batch, jobs=jobs)
+    parallel = time.perf_counter() - t0
+    return {
+        "cells": cells,
+        "jobs": jobs,
+        "serial_wall_seconds": round(serial, 3),
+        "parallel_wall_seconds": round(parallel, 3),
+        "speedup": round(serial / parallel, 2) if parallel else None,
+    }
+
+
+def time_inner_loop(repeats: int) -> dict:
+    hierarchy = StorageHierarchy(SHAPE)
+    bm = BufferManager(hierarchy, SPITFIRE_LAZY, BufferManagerConfig(seed=42))
+    bm.allocate_pages(range(INNER_LOOP_PAGES))
+    for page_id in range(INNER_LOOP_PAGES):
+        bm.prime_page(Tier.DRAM, page_id)
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for i in range(INNER_LOOP_OPS):
+            bm.read(i % INNER_LOOP_PAGES)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None or elapsed < best else best
+    return {
+        "operations": INNER_LOOP_OPS,
+        "repeats": repeats,
+        "best_wall_seconds": round(best, 4),
+        "ops_per_second": round(INNER_LOOP_OPS / best, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="also time N cells across N processes "
+                             "(0 = skip the parallel measurement)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="inner-loop passes; best is reported")
+    parser.add_argument("--out", metavar="PATH",
+                        default=str(Path(__file__).parent / "BENCH_repro.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "bench_wallclock",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "inner_loop": time_inner_loop(args.repeats),
+        "cell": time_cell_serial(),
+    }
+    if args.jobs > 1:
+        report["parallel"] = time_cells_parallel(args.jobs, args.jobs)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

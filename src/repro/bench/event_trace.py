@@ -43,7 +43,20 @@ class EventTraceRecorder:
 
     # ------------------------------------------------------------------
     def __call__(self, event: BufferEvent) -> None:
-        key = _event_key(event)
+        self.apply_event(event.type, event.page_id, event.tier, event.src,
+                         event.dirty)
+
+    def apply_event(self, etype, page_id, tier, src, dirty) -> None:
+        """Bus fast path: aggregate straight from the event fields, so an
+        attached recorder keeps the bus on its no-allocation path."""
+        src_name = src.name if src is not None else None
+        tier_name = tier.name if tier is not None else None
+        if src_name is not None and tier_name is not None and src_name != tier_name:
+            key = f"{etype.value}:{src_name}->{tier_name}"
+        elif tier_name is not None:
+            key = f"{etype.value}@{tier_name}"
+        else:
+            key = etype.value
         self.counts[key] = self.counts.get(key, 0) + 1
 
     def attach(self, bm) -> "EventTraceRecorder":

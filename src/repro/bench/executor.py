@@ -1,0 +1,260 @@
+"""Parallel experiment executor: declarative cells over a process pool.
+
+Every figure in the paper is a grid of independent measurements — one
+buffer manager, one workload, one policy/shape/knob combination per
+point.  This module turns each grid point into a picklable :class:`Cell`
+spec and runs batches of them with :func:`run_cells`, either in-process
+(``jobs=1``) or on a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Design rules:
+
+* a :class:`Cell` carries *specs*, never live objects: the worker builds
+  its own hierarchy, buffer manager, and workload from scratch, so a
+  parallel run draws exactly the same RNG streams as a serial run and
+  the per-figure JSON output is byte-identical for any ``jobs`` value;
+* results come back in submission order regardless of completion order;
+* a failing cell raises :class:`CellExecutionError` naming the cell's
+  full spec, and never hangs the pool (remaining cells are cancelled);
+* when worker processes cannot be spawned at all (restricted sandboxes,
+  missing ``os.fork``), the batch transparently degrades to serial
+  in-process execution.
+
+This module is imported by ``bench.experiments.common`` and must never
+import from ``bench.experiments`` (the package init pulls in every
+figure module).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..core.buffer_manager import BufferManager, BufferManagerConfig
+from ..core.policy import MigrationPolicy
+from ..hardware.cost_model import StorageHierarchy
+from ..hardware.pricing import HierarchyShape
+from ..hardware.specs import DEFAULT_SCALE, SimulationScale
+from ..workloads.tpcc import TpccWorkload
+from ..workloads.ycsb import MIXES, YcsbWorkload
+from .harness import RunConfig, RunResult, WorkloadRunner
+
+#: 16 KB pages of 1 KB tuples — the YCSB layout every figure uses.
+TUPLES_PER_PAGE = 16
+
+
+@dataclass(frozen=True)
+class Effort:
+    """Operation-count envelope for one experiment run."""
+
+    warmup_ops: int
+    measure_ops: int
+
+
+QUICK = Effort(warmup_ops=8_000, measure_ops=15_000)
+FULL = Effort(warmup_ops=30_000, measure_ops=60_000)
+
+
+def effort(quick: bool) -> Effort:
+    return QUICK if quick else FULL
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative workload description, resolved inside the worker.
+
+    The YCSB mix is carried by *name* (a :data:`repro.workloads.ycsb.MIXES`
+    key) so the spec stays a small value object.
+    """
+
+    kind: str  # "ycsb" | "tpcc"
+    db_gb: float
+    mix: str | None = None
+    skew: float = 0.3
+    seed: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ycsb", "tpcc"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if self.kind == "ycsb":
+            if self.mix not in MIXES:
+                raise ValueError(
+                    f"unknown YCSB mix {self.mix!r}; expected one of "
+                    f"{sorted(MIXES)}"
+                )
+        elif self.mix is not None:
+            raise ValueError("TPC-C cells take no mix")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point: everything needed to reproduce one measurement.
+
+    All fields are plain values or frozen dataclasses, so cells pickle
+    cleanly into worker processes.  The defaults mirror the historical
+    ``common.build_bm`` + ``common.run_ycsb``/``run_tpcc`` call chain
+    exactly — that equivalence is what keeps parallel figure output
+    byte-identical to serial output.
+    """
+
+    label: str
+    shape: HierarchyShape
+    policy: MigrationPolicy
+    workload: WorkloadSpec
+    effort: Effort = QUICK
+    scale: SimulationScale = DEFAULT_SCALE
+    bm_config: BufferManagerConfig | None = None
+    memory_mode: bool = False
+    #: BM RNG seed, used only when ``bm_config`` is None.
+    seed: int = 42
+    workers: int = 1
+    extra_worker_counts: tuple[int, ...] = (16,)
+    with_wal: bool = True
+    trace_events: bool = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def ycsb(cls, label: str, shape: HierarchyShape, policy: MigrationPolicy,
+             mix: str, db_gb: float, *, skew: float = 0.3,
+             workload_seed: int = 3, **kwargs) -> "Cell":
+        """A YCSB grid point (mirrors ``common.run_ycsb`` defaults)."""
+        spec = WorkloadSpec(kind="ycsb", db_gb=db_gb, mix=mix, skew=skew,
+                            seed=workload_seed)
+        return cls(label=label, shape=shape, policy=policy, workload=spec,
+                   **kwargs)
+
+    @classmethod
+    def tpcc(cls, label: str, shape: HierarchyShape, policy: MigrationPolicy,
+             db_gb: float, *, workload_seed: int = 3, **kwargs) -> "Cell":
+        """A TPC-C grid point (mirrors ``common.run_tpcc`` defaults)."""
+        spec = WorkloadSpec(kind="tpcc", db_gb=db_gb, seed=workload_seed)
+        return cls(label=label, shape=shape, policy=policy, workload=spec,
+                   **kwargs)
+
+    def describe(self) -> str:
+        """One-line spec rendering for error messages and logs."""
+        wl = self.workload
+        workload = (
+            f"{wl.mix} skew={wl.skew}" if wl.kind == "ycsb" else "TPC-C"
+        )
+        return (
+            f"Cell({self.label!r}: shape={self.shape.label}, "
+            f"policy={self.policy.name or self.policy}, {workload}, "
+            f"db={wl.db_gb:g}GB, effort={self.effort.warmup_ops}+"
+            f"{self.effort.measure_ops}, workers={self.workers}, "
+            f"seed={self.seed}/{wl.seed})"
+        )
+
+
+class CellExecutionError(RuntimeError):
+    """A cell's measurement raised; carries the failing cell's spec."""
+
+    def __init__(self, cell: Cell, cause: BaseException) -> None:
+        self.cell = cell
+        self.cause = cause
+        super().__init__(
+            f"experiment cell failed: {cause!r}\n  spec: {cell.describe()}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_cell(cell: Cell) -> RunResult:
+    """Build and measure one cell from scratch (runs inside workers too)."""
+    hierarchy = StorageHierarchy(cell.shape, cell.scale,
+                                 memory_mode=cell.memory_mode)
+    config = cell.bm_config
+    if config is None:
+        config = BufferManagerConfig(seed=cell.seed)
+    bm = BufferManager(hierarchy, cell.policy, config)
+    runner = WorkloadRunner(
+        bm,
+        RunConfig(
+            warmup_ops=cell.effort.warmup_ops,
+            measure_ops=cell.effort.measure_ops,
+            workers=cell.workers,
+            with_wal=cell.with_wal,
+            trace_events=cell.trace_events,
+        ),
+    )
+    spec = cell.workload
+    if spec.kind == "ycsb":
+        num_tuples = cell.scale.pages(spec.db_gb) * TUPLES_PER_PAGE
+        workload = YcsbWorkload(num_tuples=num_tuples, mix=MIXES[spec.mix],
+                                skew=spec.skew, seed=spec.seed)
+        return runner.measure_ycsb(
+            workload, extra_worker_counts=cell.extra_worker_counts
+        )
+    workload = TpccWorkload(db_gigabytes=spec.db_gb, scale=cell.scale,
+                            seed=spec.seed)
+    return runner.measure_tpcc(
+        workload, extra_worker_counts=cell.extra_worker_counts
+    )
+
+
+def _run_serial(cells: list[Cell]) -> list[RunResult]:
+    results = []
+    for cell in cells:
+        try:
+            results.append(run_cell(cell))
+        except Exception as exc:
+            raise CellExecutionError(cell, exc) from exc
+    return results
+
+
+def run_cells(cells, jobs: int = 1) -> list[RunResult]:
+    """Run a batch of cells and return results in submission order.
+
+    ``jobs=1`` (or a single cell) executes in-process with no pool at
+    all.  ``jobs>1`` fans the cells over a process pool; if the platform
+    cannot spawn workers the batch silently degrades to serial, which
+    produces identical results because every cell is self-contained.
+    """
+    cells = list(cells)
+    if jobs <= 1 or len(cells) <= 1:
+        return _run_serial(cells)
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(cells)))
+    except (OSError, ValueError, NotImplementedError):
+        return _run_serial(cells)
+    results: list[RunResult] = []
+    try:
+        futures = [pool.submit(run_cell, cell) for cell in cells]
+        for cell, future in zip(cells, futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                # Workers could not start (or died wholesale): rerun the
+                # whole batch in-process — cells are deterministic, so
+                # the fallback result is identical.
+                return _run_serial(cells)
+            except Exception as exc:
+                raise CellExecutionError(cell, exc) from exc
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return results
+
+
+@dataclass
+class CellBatch:
+    """Declare-then-run helper for figure modules.
+
+    Figures accumulate ``(key, cell)`` pairs while walking their grids,
+    call :meth:`run`, and read results back by key — keeping the
+    declaration order (which fixes the output order) separate from the
+    execution order (which the pool is free to shuffle).
+    """
+
+    cells: list[Cell] = field(default_factory=list)
+    keys: list[object] = field(default_factory=list)
+
+    def add(self, key: object, cell: Cell) -> None:
+        if key in self.keys:
+            raise ValueError(f"duplicate cell key {key!r}")
+        self.keys.append(key)
+        self.cells.append(cell)
+
+    def run(self, jobs: int = 1) -> dict[object, RunResult]:
+        results = run_cells(self.cells, jobs=jobs)
+        return dict(zip(self.keys, results))

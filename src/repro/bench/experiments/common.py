@@ -8,8 +8,6 @@ measurement protocol for its whole evaluation section.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ...core.buffer_manager import BufferManager, BufferManagerConfig
 from ...core.policy import MigrationPolicy
 from ...hardware.cost_model import StorageHierarchy
@@ -17,27 +15,20 @@ from ...hardware.pricing import HierarchyShape
 from ...hardware.specs import DEFAULT_SCALE, SimulationScale
 from ...workloads.tpcc import TpccWorkload
 from ...workloads.ycsb import YcsbMix, YcsbWorkload
+from ..executor import (  # noqa: F401  (re-exported for callers/tests)
+    FULL,
+    QUICK,
+    Cell,
+    CellBatch,
+    Effort,
+    effort,
+    run_cells,
+)
 from ..harness import RunConfig, RunResult, WorkloadRunner
 
 #: Coarser scale for the large-database experiments (Figs. 5, 14, 15)
 #: so that 300 GB-class configurations stay fast.
 COARSE_SCALE = SimulationScale(pages_per_gb=16)
-
-
-@dataclass(frozen=True)
-class Effort:
-    """Operation-count envelope for one experiment run."""
-
-    warmup_ops: int
-    measure_ops: int
-
-
-QUICK = Effort(warmup_ops=8_000, measure_ops=15_000)
-FULL = Effort(warmup_ops=30_000, measure_ops=60_000)
-
-
-def effort(quick: bool) -> Effort:
-    return QUICK if quick else FULL
 
 
 def build_bm(

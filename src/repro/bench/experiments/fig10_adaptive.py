@@ -28,7 +28,8 @@ OPS_PER_EPOCH_QUICK = 3_000
 OPS_PER_EPOCH_FULL = 8_000
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
+    del jobs  # the adaptive controller is one sequential simulation
     epochs = EPOCHS_QUICK if quick else EPOCHS_FULL
     ops_per_epoch = OPS_PER_EPOCH_QUICK if quick else OPS_PER_EPOCH_FULL
     result = ExperimentResult(

@@ -11,17 +11,16 @@ traffic); loading at 512 B moves data the access never touches.
 
 from __future__ import annotations
 
-from ...core.hymem import make_hymem
-from ...hardware.cost_model import StorageHierarchy
+from ...core.buffer_manager import BufferManagerConfig
+from ...core.policy import HYMEM_POLICY
 from ...pages.granularity import FIG11_GRANULARITIES, LoadingUnit
-from ...workloads.ycsb import YCSB_RO
 from ..reporting import ExperimentResult
-from .common import HYMEM_DB_GB, HYMEM_SHAPE, effort, run_ycsb
+from .common import HYMEM_DB_GB, HYMEM_SHAPE, Cell, CellBatch, effort
 
 WORKERS = 16
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "fig11", "Optimal Granularity for Loading Data on NVM (YCSB-RO)"
@@ -30,18 +29,24 @@ def run(quick: bool = True) -> ExperimentResult:
         dram_gb=HYMEM_SHAPE.dram_gb, nvm_gb=HYMEM_SHAPE.nvm_gb,
         db_gb=HYMEM_DB_GB, workers=WORKERS,
     )
-    series = result.new_series("HyMem")
+    batch = CellBatch()
     for granularity in FIG11_GRANULARITIES:
-        hierarchy = StorageHierarchy(HYMEM_SHAPE)
-        bm = make_hymem(
-            hierarchy,
-            fine_grained=True,
-            mini_pages=False,
+        # The HyMem configuration of make_hymem, fine-grained without
+        # mini pages, with the loading unit under test.
+        config = BufferManagerConfig(
+            fine_grained=True, mini_pages=False,
             loading_unit=LoadingUnit(granularity),
         )
-        res = run_ycsb(bm, YCSB_RO, HYMEM_DB_GB, eff=eff, workers=WORKERS,
-                       extra_worker_counts=())
-        series.add(granularity, res.throughput)
+        batch.add(
+            granularity,
+            Cell.ycsb(f"HyMem/{granularity}B", HYMEM_SHAPE, HYMEM_POLICY,
+                      "YCSB-RO", HYMEM_DB_GB, effort=eff, bm_config=config,
+                      workers=WORKERS, extra_worker_counts=()),
+        )
+    runs = batch.run(jobs)
+    series = result.new_series("HyMem")
+    for granularity in FIG11_GRANULARITIES:
+        series.add(granularity, runs[granularity].throughput)
     result.note(
         f"throughput peaks at {series.peak_x} B "
         f"(the Optane media access granularity is 256 B)"

@@ -50,7 +50,8 @@ def _build(policy_name: str, variant: str):
     return BufferManager(hierarchy, policy, config)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
+    del jobs  # variants share one trace; runs are inherently serial
     eff = effort(quick)
     result = ExperimentResult(
         "fig12", "Ablation of HyMem's Optimizations Across Policies"

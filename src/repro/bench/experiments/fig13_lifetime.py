@@ -12,19 +12,16 @@ lifetime; HyMem's queue funnels fewer pages into NVM.
 
 from __future__ import annotations
 
-from ...core.buffer_manager import BufferManager, BufferManagerConfig
-from ...core.hymem import make_hymem
-from ...core.policy import SPITFIRE_LAZY
-from ...hardware.cost_model import StorageHierarchy
+from ...core.buffer_manager import BufferManagerConfig
+from ...core.policy import HYMEM_POLICY, SPITFIRE_LAZY
 from ...pages.granularity import OPTANE_LOADING_UNIT
-from ...workloads.ycsb import MIXES
 from ..reporting import ExperimentResult
-from .common import HYMEM_DB_GB, HYMEM_SHAPE, effort, run_ycsb
+from .common import HYMEM_DB_GB, HYMEM_SHAPE, Cell, CellBatch, effort
 
 WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH")
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "fig13", "Impact of Migration Policies on NVM Lifetime (write volume)"
@@ -33,26 +30,30 @@ def run(quick: bool = True) -> ExperimentResult:
         dram_gb=HYMEM_SHAPE.dram_gb, nvm_gb=HYMEM_SHAPE.nvm_gb,
         db_gb=HYMEM_DB_GB, measure_ops=eff.measure_ops,
     )
+    lazy_config = BufferManagerConfig(fine_grained=True,
+                                      loading_unit=OPTANE_LOADING_UNIT)
+    hymem_config = BufferManagerConfig(fine_grained=True, mini_pages=False,
+                                       loading_unit=OPTANE_LOADING_UNIT)
+    batch = CellBatch()
+    for workload in WORKLOADS:
+        batch.add(
+            ("lazy", workload),
+            Cell.ycsb(f"Spitfire-Lazy/{workload}", HYMEM_SHAPE, SPITFIRE_LAZY,
+                      workload, HYMEM_DB_GB, effort=eff,
+                      bm_config=lazy_config, extra_worker_counts=()),
+        )
+        batch.add(
+            ("hymem", workload),
+            Cell.ycsb(f"HyMem/{workload}", HYMEM_SHAPE, HYMEM_POLICY,
+                      workload, HYMEM_DB_GB, effort=eff,
+                      bm_config=hymem_config, extra_worker_counts=()),
+        )
+    runs = batch.run(jobs)
     lazy_series = result.new_series("Spitfire-Lazy")
     hymem_series = result.new_series("HyMem")
     for workload in WORKLOADS:
-        hierarchy = StorageHierarchy(HYMEM_SHAPE)
-        lazy_bm = BufferManager(
-            hierarchy, SPITFIRE_LAZY,
-            BufferManagerConfig(fine_grained=True,
-                                loading_unit=OPTANE_LOADING_UNIT),
-        )
-        res = run_ycsb(lazy_bm, MIXES[workload], HYMEM_DB_GB, eff=eff,
-                       extra_worker_counts=())
-        lazy_series.add(workload, res.nvm_write_gb)
-
-        hymem_bm = make_hymem(
-            StorageHierarchy(HYMEM_SHAPE), fine_grained=True,
-            mini_pages=False, loading_unit=OPTANE_LOADING_UNIT,
-        )
-        res = run_ycsb(hymem_bm, MIXES[workload], HYMEM_DB_GB, eff=eff,
-                       extra_worker_counts=())
-        hymem_series.add(workload, res.nvm_write_gb)
+        lazy_series.add(workload, runs[("lazy", workload)].nvm_write_gb)
+        hymem_series.add(workload, runs[("hymem", workload)].nvm_write_gb)
     for workload in WORKLOADS:
         hymem_gb = max(hymem_series.y_at(workload), 1e-9)
         result.note(

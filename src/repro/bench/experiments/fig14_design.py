@@ -14,16 +14,13 @@ Expected shape: (a) the cost grid is linear in the device prices;
 
 from __future__ import annotations
 
-from ...core.buffer_manager import BufferManager
 from ...design.grid_search import (
     enumerate_shapes,
     grid_search,
 )
-from ...hardware.cost_model import StorageHierarchy
 from ...hardware.pricing import hierarchy_cost
-from ...workloads.ycsb import MIXES
 from ..reporting import ExperimentResult
-from .common import COARSE_SCALE, effort, run_ycsb
+from .common import COARSE_SCALE, Cell, effort
 
 DB_GB = 100.0
 SKEW = 0.5
@@ -31,7 +28,7 @@ WORKERS = 8
 WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH")
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "fig14", "Storage System Design (perf/price grid search)"
@@ -46,15 +43,15 @@ def run(quick: bool = True) -> ExperimentResult:
                         hierarchy_cost(shape))
 
     for workload in WORKLOADS:
-        mix = MIXES[workload]
 
-        def evaluate(hierarchy: StorageHierarchy, bm: BufferManager) -> float:
-            res = run_ycsb(bm, mix, DB_GB, scale=COARSE_SCALE, skew=SKEW,
-                           eff=eff, workers=WORKERS, extra_worker_counts=())
-            return res.throughput
+        def cell_factory(shape, policy, _workload=workload):
+            return Cell.ycsb(f"{_workload}/{shape.label}", shape, policy,
+                             _workload, DB_GB, skew=SKEW, effort=eff,
+                             scale=COARSE_SCALE, workers=WORKERS,
+                             extra_worker_counts=())
 
-        search = grid_search(workload, evaluate, shapes=shapes,
-                             scale=COARSE_SCALE)
+        search = grid_search(workload, shapes=shapes, scale=COARSE_SCALE,
+                             cell_factory=cell_factory, jobs=jobs)
         series = result.new_series(f"{workload} (ops/s/$)")
         for point in search.points:
             series.add(

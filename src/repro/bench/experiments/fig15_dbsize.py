@@ -17,20 +17,18 @@ Spitfire-Lazy is the best three-tier policy essentially everywhere.
 
 from __future__ import annotations
 
-from ...core.buffer_manager import BufferManager, BufferManagerConfig
-from ...core.hymem import make_hymem
+from ...core.buffer_manager import BufferManagerConfig
 from ...core.policy import (
     DRAM_SSD_POLICY,
+    HYMEM_POLICY,
     NVM_SSD_POLICY,
     SPITFIRE_EAGER,
     SPITFIRE_LAZY,
 )
-from ...hardware.cost_model import StorageHierarchy
 from ...hardware.pricing import HierarchyShape
 from ...pages.granularity import OPTANE_LOADING_UNIT
-from ...workloads.ycsb import MIXES
 from ..reporting import ExperimentResult
-from .common import COARSE_SCALE, effort, run_tpcc, run_ycsb
+from .common import COARSE_SCALE, Cell, CellBatch, effort
 
 THREE_TIER = HierarchyShape(dram_gb=20.0, nvm_gb=60.0, ssd_gb=200.0)
 DRAM_SSD = HierarchyShape(dram_gb=46.0, nvm_gb=0.0, ssd_gb=200.0)
@@ -44,32 +42,32 @@ WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH", "TPC-C")
 WORKERS = 8
 
 
-def _build(config: str) -> BufferManager:
+#: For fairness the paper enables HyMem's optimizations on the
+#: three-tier configurations (Spitfire and HyMem) in this experiment.
+_FINE_CONFIG = BufferManagerConfig(fine_grained=True, mini_pages=True,
+                                   loading_unit=OPTANE_LOADING_UNIT)
+
+
+def _cell(config: str, workload: str, db_gb: float, eff) -> Cell:
     if config == "HyMem":
-        return make_hymem(
-            StorageHierarchy(THREE_TIER, COARSE_SCALE),
-            fine_grained=True, mini_pages=True,
-            loading_unit=OPTANE_LOADING_UNIT,
-        )
-    if config == "DRAM-SSD":
-        return BufferManager(
-            StorageHierarchy(DRAM_SSD, COARSE_SCALE), DRAM_SSD_POLICY
-        )
-    if config == "NVM-SSD":
-        return BufferManager(
-            StorageHierarchy(NVM_SSD, COARSE_SCALE), NVM_SSD_POLICY
-        )
-    policy = SPITFIRE_LAZY if config == "Spf-Lazy" else SPITFIRE_EAGER
-    # For fairness the paper enables HyMem's optimizations on the
-    # three-tier Spitfire configurations in this experiment as well.
-    return BufferManager(
-        StorageHierarchy(THREE_TIER, COARSE_SCALE), policy,
-        BufferManagerConfig(fine_grained=True, mini_pages=True,
-                            loading_unit=OPTANE_LOADING_UNIT),
-    )
+        shape, policy, bm_config = THREE_TIER, HYMEM_POLICY, _FINE_CONFIG
+    elif config == "DRAM-SSD":
+        shape, policy, bm_config = DRAM_SSD, DRAM_SSD_POLICY, None
+    elif config == "NVM-SSD":
+        shape, policy, bm_config = NVM_SSD, NVM_SSD_POLICY, None
+    else:
+        shape = THREE_TIER
+        policy = SPITFIRE_LAZY if config == "Spf-Lazy" else SPITFIRE_EAGER
+        bm_config = _FINE_CONFIG
+    label = f"{workload}/{config}/{db_gb:g}GB"
+    kwargs = dict(effort=eff, scale=COARSE_SCALE, bm_config=bm_config,
+                  workers=WORKERS, extra_worker_counts=())
+    if workload == "TPC-C":
+        return Cell.tpcc(label, shape, policy, db_gb, **kwargs)
+    return Cell.ycsb(label, shape, policy, workload, db_gb, **kwargs)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     sizes = DB_SIZES_QUICK if quick else DB_SIZES_FULL
     result = ExperimentResult("fig15", "Impact of Database Size")
@@ -79,19 +77,18 @@ def run(quick: bool = True) -> ExperimentResult:
         nvm_ssd=f"{NVM_SSD.nvm_gb:g} GB",
         workers=WORKERS,
     )
+    batch = CellBatch()
+    for workload in WORKLOADS:
+        for config in CONFIGS:
+            for db_gb in sizes:
+                batch.add((workload, config, db_gb),
+                          _cell(config, workload, db_gb, eff))
+    runs = batch.run(jobs)
     for workload in WORKLOADS:
         for config in CONFIGS:
             series = result.new_series(f"{workload}/{config}")
             for db_gb in sizes:
-                bm = _build(config)
-                if workload == "TPC-C":
-                    res = run_tpcc(bm, db_gb, scale=COARSE_SCALE, eff=eff,
-                                   workers=WORKERS, extra_worker_counts=())
-                else:
-                    res = run_ycsb(bm, MIXES[workload], db_gb,
-                                   scale=COARSE_SCALE, eff=eff,
-                                   workers=WORKERS, extra_worker_counts=())
-                series.add(db_gb, res.throughput)
+                series.add(db_gb, runs[(workload, config, db_gb)].throughput)
     small, large = sizes[0], sizes[-1]
     for workload in WORKLOADS:
         dram = result.series[f"{workload}/DRAM-SSD"]

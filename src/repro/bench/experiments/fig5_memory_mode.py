@@ -20,8 +20,7 @@ from __future__ import annotations
 from ...core.policy import DRAM_SSD_POLICY, NVM_SSD_POLICY
 from ...hardware.pricing import HierarchyShape
 from ..reporting import ExperimentResult
-from .common import COARSE_SCALE, build_bm, effort, run_tpcc, run_ycsb
-from ...workloads.ycsb import YCSB_BA, YCSB_RO
+from .common import COARSE_SCALE, Cell, CellBatch, effort
 
 #: Memory-mode server of §6.2: 96 GB DRAM cache, 140 GB buffer capacity.
 MEMORY_MODE_SHAPE = HierarchyShape(dram_gb=96.0, nvm_gb=140.0, ssd_gb=400.0)
@@ -34,22 +33,20 @@ DB_SIZES_QUICK = (5.0, 45.0, 125.0, 225.0, 305.0)
 WORKERS = 16
 
 
-def _one_point(workload_name: str, db_gb: float, memory_mode: bool,
-               eff) -> float:
+def _cell(workload_name: str, db_gb: float, memory_mode: bool, eff) -> Cell:
     shape = MEMORY_MODE_SHAPE if memory_mode else NVM_SSD_SHAPE
     policy = DRAM_SSD_POLICY if memory_mode else NVM_SSD_POLICY
-    bm = build_bm(shape, policy, scale=COARSE_SCALE, memory_mode=memory_mode)
+    mode = "mem" if memory_mode else "appdirect"
+    kwargs = dict(effort=eff, scale=COARSE_SCALE, memory_mode=memory_mode,
+                  workers=WORKERS, extra_worker_counts=())
     if workload_name == "TPC-C":
-        res = run_tpcc(bm, db_gb, scale=COARSE_SCALE, eff=eff, workers=WORKERS,
-                       extra_worker_counts=())
-    else:
-        mix = YCSB_RO if workload_name == "YCSB-RO" else YCSB_BA
-        res = run_ycsb(bm, mix, db_gb, scale=COARSE_SCALE, eff=eff,
-                       workers=WORKERS, extra_worker_counts=())
-    return res.throughput
+        return Cell.tpcc(f"{workload_name}/{mode}/{db_gb:g}GB", shape, policy,
+                         db_gb, **kwargs)
+    return Cell.ycsb(f"{workload_name}/{mode}/{db_gb:g}GB", shape, policy,
+                     workload_name, db_gb, **kwargs)
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     sizes = DB_SIZES_QUICK if quick else DB_SIZES_FULL
     result = ExperimentResult(
@@ -60,12 +57,20 @@ def run(quick: bool = True) -> ExperimentResult:
         nvm_ssd_buffer_gb=NVM_SSD_SHAPE.nvm_gb,
         workers=WORKERS,
     )
+    batch = CellBatch()
+    for workload in ("YCSB-RO", "YCSB-BA", "TPC-C"):
+        for memory_mode in (False, True):
+            for db_gb in sizes:
+                batch.add((workload, memory_mode, db_gb),
+                          _cell(workload, db_gb, memory_mode, eff))
+    runs = batch.run(jobs)
     for workload in ("YCSB-RO", "YCSB-BA", "TPC-C"):
         for memory_mode in (False, True):
             label = f"{workload}/{'DRAM-SSD(mem)' if memory_mode else 'NVM-SSD'}"
             series = result.new_series(label)
             for db_gb in sizes:
-                series.add(db_gb, _one_point(workload, db_gb, memory_mode, eff))
+                series.add(db_gb,
+                           runs[(workload, memory_mode, db_gb)].throughput)
     # Headline comparison the paper calls out.
     for workload in ("YCSB-RO", "YCSB-BA", "TPC-C"):
         nvm = result.series[f"{workload}/NVM-SSD"]

@@ -12,22 +12,20 @@ peak; the eager D = 1 is the worst of the non-zero settings.
 from __future__ import annotations
 
 from ...core.policy import MigrationPolicy
-from ...workloads.ycsb import MIXES
 from ..reporting import ExperimentResult
 from .common import (
     POLICY_DB_GB,
     POLICY_SHAPE,
     SWEEP_PROBS,
-    build_bm,
+    Cell,
+    CellBatch,
     effort,
-    run_tpcc,
-    run_ycsb,
 )
 
 WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH", "TPC-C")
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "fig6", "Performance Impact of Bypassing DRAM (D sweep, N=1)"
@@ -36,17 +34,24 @@ def run(quick: bool = True) -> ExperimentResult:
         dram_gb=POLICY_SHAPE.dram_gb, nvm_gb=POLICY_SHAPE.nvm_gb,
         db_gb=POLICY_DB_GB,
     )
+    batch = CellBatch()
+    for workload in WORKLOADS:
+        for d in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0,
+                                     name=f"D={d}")
+            if workload == "TPC-C":
+                cell = Cell.tpcc(f"{workload}/D={d}", POLICY_SHAPE, policy,
+                                 POLICY_DB_GB, effort=eff)
+            else:
+                cell = Cell.ycsb(f"{workload}/D={d}", POLICY_SHAPE, policy,
+                                 workload, POLICY_DB_GB, effort=eff)
+            batch.add((workload, d), cell)
+    runs = batch.run(jobs)
     for workload in WORKLOADS:
         one = result.new_series(f"{workload}/1w")
         sixteen = result.new_series(f"{workload}/16w")
         for d in SWEEP_PROBS:
-            policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0,
-                                     name=f"D={d}")
-            bm = build_bm(POLICY_SHAPE, policy)
-            if workload == "TPC-C":
-                res = run_tpcc(bm, POLICY_DB_GB, eff=eff)
-            else:
-                res = run_ycsb(bm, MIXES[workload], POLICY_DB_GB, eff=eff)
+            res = runs[(workload, d)]
             one.add(d, res.throughput)
             sixteen.add(d, res.throughput_by_workers[16])
     for workload in WORKLOADS:

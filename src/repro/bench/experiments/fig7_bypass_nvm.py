@@ -13,22 +13,20 @@ capacity entirely, and the collapse is much deeper with 16 workers
 from __future__ import annotations
 
 from ...core.policy import MigrationPolicy
-from ...workloads.ycsb import MIXES
 from ..reporting import ExperimentResult
 from .common import (
     POLICY_DB_GB,
     POLICY_SHAPE,
     SWEEP_PROBS,
-    build_bm,
+    Cell,
+    CellBatch,
     effort,
-    run_tpcc,
-    run_ycsb,
 )
 
 WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH", "TPC-C")
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "fig7", "Performance Impact of Bypassing NVM (N sweep, D=1)"
@@ -37,17 +35,24 @@ def run(quick: bool = True) -> ExperimentResult:
         dram_gb=POLICY_SHAPE.dram_gb, nvm_gb=POLICY_SHAPE.nvm_gb,
         db_gb=POLICY_DB_GB,
     )
+    batch = CellBatch()
+    for workload in WORKLOADS:
+        for n in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n,
+                                     name=f"N={n}")
+            if workload == "TPC-C":
+                cell = Cell.tpcc(f"{workload}/N={n}", POLICY_SHAPE, policy,
+                                 POLICY_DB_GB, effort=eff)
+            else:
+                cell = Cell.ycsb(f"{workload}/N={n}", POLICY_SHAPE, policy,
+                                 workload, POLICY_DB_GB, effort=eff)
+            batch.add((workload, n), cell)
+    runs = batch.run(jobs)
     for workload in WORKLOADS:
         one = result.new_series(f"{workload}/1w")
         sixteen = result.new_series(f"{workload}/16w")
         for n in SWEEP_PROBS:
-            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n,
-                                     name=f"N={n}")
-            bm = build_bm(POLICY_SHAPE, policy)
-            if workload == "TPC-C":
-                res = run_tpcc(bm, POLICY_DB_GB, eff=eff)
-            else:
-                res = run_ycsb(bm, MIXES[workload], POLICY_DB_GB, eff=eff)
+            res = runs[(workload, n)]
             one.add(n, res.throughput)
             sixteen.add(n, res.throughput_by_workers[16])
     for workload in WORKLOADS:

@@ -13,14 +13,20 @@ regardless).
 from __future__ import annotations
 
 from ...core.policy import MigrationPolicy
-from ...workloads.ycsb import MIXES
 from ..reporting import ExperimentResult
-from .common import POLICY_DB_GB, POLICY_SHAPE, SWEEP_PROBS, build_bm, effort, run_ycsb
+from .common import (
+    POLICY_DB_GB,
+    POLICY_SHAPE,
+    SWEEP_PROBS,
+    Cell,
+    CellBatch,
+    effort,
+)
 
 WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH")
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "fig8", "Impact of Bypassing NVM on Writes to NVM (write volume, GB)"
@@ -29,14 +35,21 @@ def run(quick: bool = True) -> ExperimentResult:
         dram_gb=POLICY_SHAPE.dram_gb, nvm_gb=POLICY_SHAPE.nvm_gb,
         db_gb=POLICY_DB_GB, measure_ops=eff.measure_ops,
     )
+    batch = CellBatch()
+    for workload in WORKLOADS:
+        for n in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n)
+            batch.add(
+                (workload, n),
+                Cell.ycsb(f"{workload}/N={n}", POLICY_SHAPE, policy,
+                          workload, POLICY_DB_GB, effort=eff,
+                          extra_worker_counts=()),
+            )
+    runs = batch.run(jobs)
     for workload in WORKLOADS:
         series = result.new_series(workload)
         for n in SWEEP_PROBS:
-            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n)
-            bm = build_bm(POLICY_SHAPE, policy)
-            res = run_ycsb(bm, MIXES[workload], POLICY_DB_GB, eff=eff,
-                           extra_worker_counts=())
-            series.add(n, res.nvm_write_gb)
+            series.add(n, runs[(workload, n)].nvm_write_gb)
     for workload in WORKLOADS:
         series = result.series[workload]
         lazy = max(series.y_at(0.1), 1e-9)

@@ -13,30 +13,37 @@ from __future__ import annotations
 
 from ...core.policy import MigrationPolicy
 from ...hardware.pricing import HierarchyShape
-from ...workloads.ycsb import YCSB_RO
 from ..reporting import ExperimentResult
-from .common import SWEEP_PROBS, build_bm, effort, run_ycsb
+from .common import SWEEP_PROBS, Cell, CellBatch, effort
 
 NVM_GB = 10.0
 DRAM_SIZES = (1.25, 2.5, 5.0)
 DB_GB = 40.0
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "fig9", "Impact of Storage Hierarchy (D sweep per DRAM:NVM ratio)"
     )
     result.metadata.update(nvm_gb=NVM_GB, db_gb=DB_GB, workload="YCSB-RO")
+    batch = CellBatch()
     for dram_gb in DRAM_SIZES:
-        ratio = int(round(NVM_GB / dram_gb))
-        series = result.new_series(f"1:{ratio}")
         shape = HierarchyShape(dram_gb=dram_gb, nvm_gb=NVM_GB, ssd_gb=100.0)
         for d in SWEEP_PROBS:
             policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0)
-            bm = build_bm(shape, policy)
-            res = run_ycsb(bm, YCSB_RO, DB_GB, eff=eff, extra_worker_counts=())
-            series.add(d, res.throughput)
+            batch.add(
+                (dram_gb, d),
+                Cell.ycsb(f"dram={dram_gb:g}/D={d}", shape, policy,
+                          "YCSB-RO", DB_GB, effort=eff,
+                          extra_worker_counts=()),
+            )
+    runs = batch.run(jobs)
+    for dram_gb in DRAM_SIZES:
+        ratio = int(round(NVM_GB / dram_gb))
+        series = result.new_series(f"1:{ratio}")
+        for d in SWEEP_PROBS:
+            series.add(d, runs[(dram_gb, d)].throughput)
     for label, series in result.series.items():
         result.note(f"ratio {label}: optimal D = {series.peak_x}")
     return result

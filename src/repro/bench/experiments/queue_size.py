@@ -15,13 +15,12 @@ one-half point — larger queues buy nothing.
 
 from __future__ import annotations
 
-from ...core.hymem import make_hymem
-from ...hardware.cost_model import StorageHierarchy
-from ...hardware.specs import Tier
+from ...core.buffer_manager import BufferManagerConfig
+from ...core.policy import HYMEM_POLICY
+from ...hardware.specs import DEFAULT_SCALE
 from ...pages.granularity import OPTANE_LOADING_UNIT
-from ...workloads.ycsb import YCSB_RO
 from ..reporting import ExperimentResult
-from .common import HYMEM_DB_GB, HYMEM_SHAPE, effort, run_tpcc, run_ycsb
+from .common import HYMEM_DB_GB, HYMEM_SHAPE, Cell, CellBatch, effort
 
 #: Queue size as a fraction of the NVM buffer's page count.
 QUEUE_FRACTIONS = (0.031, 0.125, 0.5, 1.0, 2.0)
@@ -29,7 +28,7 @@ QUEUE_FRACTIONS = (0.031, 0.125, 0.5, 1.0, 2.0)
 WORKERS = 16
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "queue_size", "HyMem Admission Queue Size (§6.5 sizing experiment)"
@@ -38,23 +37,31 @@ def run(quick: bool = True) -> ExperimentResult:
         dram_gb=HYMEM_SHAPE.dram_gb, nvm_gb=HYMEM_SHAPE.nvm_gb,
         db_gb=HYMEM_DB_GB, workers=WORKERS,
     )
+    # The NVM buffer's page count, computable without building devices.
+    nvm_pages = DEFAULT_SCALE.pages(HYMEM_SHAPE.nvm_gb)
+    batch = CellBatch()
     for workload in ("YCSB-RO", "TPC-C"):
-        series = result.new_series(workload)
         for fraction in QUEUE_FRACTIONS:
-            hierarchy = StorageHierarchy(HYMEM_SHAPE)
-            nvm_pages = hierarchy.buffer_capacity_pages(Tier.NVM)
-            bm = make_hymem(
-                hierarchy, fine_grained=True, mini_pages=False,
+            config = BufferManagerConfig(
+                fine_grained=True, mini_pages=False,
                 loading_unit=OPTANE_LOADING_UNIT,
                 admission_queue_size=max(1, int(nvm_pages * fraction)),
             )
+            label = f"{workload}/q={fraction:g}"
             if workload == "TPC-C":
-                res = run_tpcc(bm, HYMEM_DB_GB, eff=eff, workers=WORKERS,
-                               extra_worker_counts=())
+                cell = Cell.tpcc(label, HYMEM_SHAPE, HYMEM_POLICY,
+                                 HYMEM_DB_GB, effort=eff, bm_config=config,
+                                 workers=WORKERS, extra_worker_counts=())
             else:
-                res = run_ycsb(bm, YCSB_RO, HYMEM_DB_GB, eff=eff,
-                               workers=WORKERS, extra_worker_counts=())
-            series.add(fraction, res.throughput)
+                cell = Cell.ycsb(label, HYMEM_SHAPE, HYMEM_POLICY, "YCSB-RO",
+                                 HYMEM_DB_GB, effort=eff, bm_config=config,
+                                 workers=WORKERS, extra_worker_counts=())
+            batch.add((workload, fraction), cell)
+    runs = batch.run(jobs)
+    for workload in ("YCSB-RO", "TPC-C"):
+        series = result.new_series(workload)
+        for fraction in QUEUE_FRACTIONS:
+            series.add(fraction, runs[(workload, fraction)].throughput)
     for workload in ("YCSB-RO", "TPC-C"):
         series = result.series[workload]
         half = series.y_at(0.5)

@@ -75,7 +75,8 @@ def _one_config(label: str, operations: int) -> dict[str, float]:
     }
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
+    del jobs  # crash/recover pairs mutate shared state; serial only
     operations = OPS_QUICK if quick else OPS_FULL
     result = ExperimentResult(
         "recovery", "Recovery Overhead: DRAM-SSD vs DRAM-NVM-SSD (§6.2 claim)"

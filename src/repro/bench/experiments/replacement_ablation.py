@@ -11,37 +11,41 @@ while FIFO trails — it evicts hot pages on schedule regardless of use.
 
 from __future__ import annotations
 
-from ...core.buffer_manager import BufferManager, BufferManagerConfig
+from ...core.buffer_manager import BufferManagerConfig
 from ...core.policy import SPITFIRE_LAZY
-from ...hardware.cost_model import StorageHierarchy
 from ...hardware.pricing import HierarchyShape
 from ...workloads.ycsb import YCSB_BA, YCSB_RO
 from ..reporting import ExperimentResult
-from .common import effort, run_ycsb
+from .common import Cell, CellBatch, effort
 
 SHAPE = HierarchyShape(dram_gb=4.0, nvm_gb=16.0, ssd_gb=100.0)
 DB_GB = 50.0
 POLICIES = ("clock", "lru", "fifo")
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "replacement", "Replacement-Policy Ablation (CLOCK vs LRU vs FIFO)"
     )
     result.metadata.update(dram_gb=SHAPE.dram_gb, nvm_gb=SHAPE.nvm_gb,
                            db_gb=DB_GB, skew=0.6)
+    batch = CellBatch()
+    for mix in (YCSB_RO, YCSB_BA):
+        for replacement in POLICIES:
+            batch.add(
+                (mix.name, replacement),
+                Cell.ycsb(f"{mix.name}/{replacement}", SHAPE, SPITFIRE_LAZY,
+                          mix.name, DB_GB, skew=0.6, effort=eff,
+                          bm_config=BufferManagerConfig(
+                              replacement=replacement),
+                          extra_worker_counts=()),
+            )
+    runs = batch.run(jobs)
     for mix in (YCSB_RO, YCSB_BA):
         series = result.new_series(mix.name)
         for replacement in POLICIES:
-            hierarchy = StorageHierarchy(SHAPE)
-            bm = BufferManager(
-                hierarchy, SPITFIRE_LAZY,
-                BufferManagerConfig(replacement=replacement),
-            )
-            res = run_ycsb(bm, mix, DB_GB, skew=0.6, eff=eff,
-                           extra_worker_counts=())
-            series.add(replacement, res.throughput)
+            series.add(replacement, runs[(mix.name, replacement)].throughput)
     for mix_name, series in result.series.items():
         clock_vs_lru = series.y_at("clock") / series.y_at("lru")
         clock_vs_fifo = series.y_at("clock") / series.y_at("fifo")

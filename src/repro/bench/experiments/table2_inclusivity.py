@@ -12,32 +12,29 @@ ratio, ~0.25 for the 12.5/50 GB hierarchy).
 from __future__ import annotations
 
 from ...core.policy import MigrationPolicy
-from ...workloads.ycsb import MIXES
 from ..reporting import ExperimentResult
 from .common import (
     POLICY_DB_GB,
     POLICY_SHAPE,
     SWEEP_PROBS,
-    build_bm,
+    Cell,
+    CellBatch,
     effort,
-    run_tpcc,
-    run_ycsb,
 )
 
 WORKLOADS = ("YCSB-RO", "YCSB-BA", "YCSB-WH", "TPC-C")
 
 
-def _measure(workload: str, policy: MigrationPolicy, eff) -> float:
-    bm = build_bm(POLICY_SHAPE, policy)
+def _cell(workload: str, policy: MigrationPolicy, eff) -> Cell:
+    label = f"{workload}/{policy.name or 'policy'}"
     if workload == "TPC-C":
-        res = run_tpcc(bm, POLICY_DB_GB, eff=eff, extra_worker_counts=())
-    else:
-        res = run_ycsb(bm, MIXES[workload], POLICY_DB_GB, eff=eff,
-                       extra_worker_counts=())
-    return res.inclusivity
+        return Cell.tpcc(label, POLICY_SHAPE, policy, POLICY_DB_GB,
+                         effort=eff, extra_worker_counts=())
+    return Cell.ycsb(label, POLICY_SHAPE, policy, workload, POLICY_DB_GB,
+                     effort=eff, extra_worker_counts=())
 
 
-def run(quick: bool = True) -> ExperimentResult:
+def run(quick: bool = True, jobs: int = 1) -> ExperimentResult:
     eff = effort(quick)
     result = ExperimentResult(
         "table2", "Inclusivity Ratio of DRAM & NVM Buffers"
@@ -46,15 +43,25 @@ def run(quick: bool = True) -> ExperimentResult:
         dram_gb=POLICY_SHAPE.dram_gb, nvm_gb=POLICY_SHAPE.nvm_gb,
         db_gb=POLICY_DB_GB,
     )
+    batch = CellBatch()
+    for workload in WORKLOADS:
+        for d in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0,
+                                     name=f"D={d}")
+            batch.add(("D", workload, d), _cell(workload, policy, eff))
+    for workload in WORKLOADS:
+        for n in SWEEP_PROBS:
+            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n,
+                                     name=f"N={n}")
+            batch.add(("N", workload, n), _cell(workload, policy, eff))
+    runs = batch.run(jobs)
     for workload in WORKLOADS:
         series = result.new_series(f"Bypassing DRAM (D)/{workload}")
         for d in SWEEP_PROBS:
-            policy = MigrationPolicy(d_r=d, d_w=d, n_r=1.0, n_w=1.0)
-            series.add(d, _measure(workload, policy, eff))
+            series.add(d, runs[("D", workload, d)].inclusivity)
     for workload in WORKLOADS:
         series = result.new_series(f"Bypassing NVM (N)/{workload}")
         for n in SWEEP_PROBS:
-            policy = MigrationPolicy(d_r=1.0, d_w=1.0, n_r=n, n_w=n)
-            series.add(n, _measure(workload, policy, eff))
+            series.add(n, runs[("N", workload, n)].inclusivity)
     result.note("lower non-zero values are better (less duplication)")
     return result

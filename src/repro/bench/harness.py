@@ -99,10 +99,8 @@ class WorkloadRunner:
     # Database setup
     # ------------------------------------------------------------------
     def allocate_database(self, num_pages: int) -> None:
-        """Create the SSD-resident database pages."""
-        for page_id in range(num_pages):
-            if not self.bm.page_exists(page_id):
-                self.bm.allocate_page(page_id)
+        """Create the SSD-resident database pages in one bulk call."""
+        self.bm.allocate_pages(range(num_pages))
 
     # ------------------------------------------------------------------
     # Operation execution

@@ -5,6 +5,7 @@ Usage::
     repro-experiments --list
     repro-experiments fig6 fig7          # run two experiments
     repro-experiments --all --full       # everything, full effort
+    repro-experiments --all --jobs 8     # fan cells out over 8 processes
     repro-experiments fig14 --out results/
 
 Each experiment prints a paper-style text table and (with ``--out``)
@@ -33,6 +34,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="list available experiment ids")
     parser.add_argument("--full", action="store_true",
                         help="full effort (longer runs, more points)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes per experiment (default: 1; "
+                             "results are identical at any job count)")
     parser.add_argument("--out", metavar="DIR",
                         help="directory for JSON result files")
     args = parser.parse_args(argv)
@@ -54,7 +58,7 @@ def main(argv: list[str] | None = None) -> int:
 
     for experiment_id in chosen:
         started = time.time()
-        result = REGISTRY[experiment_id](quick=not args.full)
+        result = REGISTRY[experiment_id](quick=not args.full, jobs=args.jobs)
         print(result.render())
         print(f"   [{experiment_id} took {time.time() - started:.1f}s]\n")
         if args.out:

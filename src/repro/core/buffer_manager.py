@@ -43,7 +43,7 @@ from ..pages.mini_page import MINI_PAGE_BYTES, MINI_PAGE_SLOTS, MiniPage, MiniPa
 from ..pages.page import Page, PageId
 from .admission import AdmissionQueue, recommended_queue_size
 from .descriptors import SharedPageDescriptor, TierPageDescriptor
-from .events import BufferEvent, EventBus, EventType, StatsProjector
+from .events import EventBus, EventType, StatsProjector
 from .mapping_table import MappingTable
 from .migration import Edge, MigrationEngine, MigrationOp
 from .policy import MigrationPolicy, NvmAdmission
@@ -151,6 +151,9 @@ class BufferManager:
         self.events.subscribe(self._stats_projector)
         self.inclusivity = InclusivityTracker()
         self.inclusivity.attach(self.events)
+        #: Pre-bound hot-path emitter: every internal ``self._emit(...)``
+        #: goes straight to the bus's no-allocation publish path.
+        self._emit = self.events.publish
 
         top_entry = MINI_PAGE_BYTES if self.config.mini_pages else None
         self.chain = TierChain.build(
@@ -197,16 +200,21 @@ class BufferManager:
     def _cpu(self, service_ns: float) -> None:
         self.hierarchy.charge_cpu(service_ns)
 
-    def _emit(self, type: EventType, page_id: PageId, tier: Tier | None = None,
-              src: Tier | None = None, dirty: bool = False) -> None:
-        self.events.emit(BufferEvent(type, page_id, tier, src, dirty))
-
     # ------------------------------------------------------------------
     # Page lifecycle
     # ------------------------------------------------------------------
     def allocate_page(self, page_id: PageId | None = None) -> PageId:
         """Create a new page; it initially resides on SSD (§1)."""
         return self.store.allocate(page_id).page_id
+
+    def allocate_pages(self, page_ids) -> int:
+        """Bulk-create pages on SSD, skipping ids that already exist.
+
+        The harness uses this to lay out whole databases in one call
+        instead of an ``page_exists`` + ``allocate_page`` round-trip per
+        page.  Returns the number of pages newly created.
+        """
+        return self.store.allocate_many(page_ids)
 
     def page_exists(self, page_id: PageId) -> bool:
         return self.store.exists(page_id)
@@ -257,29 +265,36 @@ class BufferManager:
         climbs the page toward the top (§3.1/§3.2).  A full miss goes to
         :meth:`_fetch_from_ssd`.
         """
-        costs = self.hierarchy.cpu_costs
-        self._cpu(costs.lookup_ns)
-        self._emit(EventType.OP_WRITE if is_write else EventType.OP_READ, page_id)
-        shared = self.table.get_or_create(page_id)
-        policy = self.policy
+        hierarchy = self.hierarchy
+        hierarchy.begin_op()
+        try:
+            hierarchy.charge_cpu(hierarchy.cpu_costs.lookup_ns)
+            self._emit(EventType.OP_WRITE if is_write else EventType.OP_READ,
+                       page_id)
+            shared = self.table.get_or_create(page_id)
+            # Atomic attribute read; ``set_policy`` replaces the whole
+            # object, so skipping the property's lock is race-free here.
+            policy = self._policy
 
-        promote_op = (
-            MigrationOp.PROMOTE_WRITE if is_write else MigrationOp.PROMOTE_READ
-        )
-        for node in self.chain:
-            descriptor = node.pool.get(page_id)
-            if descriptor is None:
-                continue
-            self._emit(EventType.HIT, page_id, tier=node.tier)
-            node, descriptor = self._climb(
-                shared, node, descriptor, promote_op, offset, nbytes, policy
+            promote_op = (
+                MigrationOp.PROMOTE_WRITE if is_write else MigrationOp.PROMOTE_READ
             )
-            return self._serve(node, shared, descriptor, offset, nbytes,
-                               is_write, hit=True)
+            for node in self.chain.nodes:
+                descriptor = node.pool.get(page_id)
+                if descriptor is None:
+                    continue
+                self._emit(EventType.HIT, page_id, tier=node.tier)
+                node, descriptor = self._climb(
+                    shared, node, descriptor, promote_op, offset, nbytes, policy
+                )
+                return self._serve(node, shared, descriptor, offset, nbytes,
+                                   is_write, hit=True)
 
-        tier = self._fetch_from_ssd(shared, page_id, offset, nbytes, is_write)
-        bypassed = tier not in (Tier.DRAM, Tier.SSD)
-        return AccessResult(page_id, tier, hit=False, bypassed_dram=bypassed)
+            tier = self._fetch_from_ssd(shared, page_id, offset, nbytes, is_write)
+            bypassed = tier not in (Tier.DRAM, Tier.SSD)
+            return AccessResult(page_id, tier, hit=False, bypassed_dram=bypassed)
+        finally:
+            hierarchy.end_op()
 
     def _climb(self, shared: SharedPageDescriptor, node: TierNode,
                descriptor: TierPageDescriptor, promote_op: MigrationOp,
@@ -372,6 +387,20 @@ class BufferManager:
             return 0
         persist_node = self.chain.first_persistent_below(top)
         latch_tiers = self.chain.tiers + (Tier.SSD,)
+        flushed = 0
+        self.hierarchy.begin_op()
+        try:
+            flushed = self._flush_dirty_dram_batch(
+                top, persist_node, latch_tiers, limit
+            )
+        finally:
+            self.hierarchy.end_op()
+        return flushed
+
+    def _flush_dirty_dram_batch(self, top: TierNode,
+                                 persist_node: TierNode | None,
+                                 latch_tiers: tuple[Tier, ...],
+                                 limit: int | None) -> int:
         flushed = 0
         for descriptor in top.pool.descriptors():
             if limit is not None and flushed >= limit:
@@ -700,7 +729,7 @@ class BufferManager:
         draws may carry the page further up (§3.4's path ③+①).
         """
         self._emit(EventType.MISS, page_id, tier=Tier.SSD)
-        policy = self.policy
+        policy = self._policy
         durable = self.store.read_page(page_id)  # charges the SSD read
 
         landed: TierNode | None = None

@@ -13,13 +13,25 @@ flushes, fine-grained loads — and every consumer subscribes to the same
 * the bench-side :class:`~repro.bench.event_trace.EventTraceRecorder`
   aggregates per-edge traffic for any chain depth.
 
-The bus sits on the hottest path, so emission is a plain loop over a
-tuple of callables and events are ``__slots__`` objects.
+The bus sits on the hottest path, so emission is engineered around two
+invariants:
+
+* :meth:`EventBus.emit` is a plain loop over an immutable handler tuple
+  (no locking on the read side; subscription changes swap the tuple
+  atomically under a mutation lock),
+* :meth:`EventBus.publish` skips :class:`BufferEvent` construction
+  entirely whenever every subscriber implements the ``apply_event``
+  fast-path protocol — the default subscribers (the stats projector and
+  the inclusivity tracker) do, so the steady-state emission cost is a
+  couple of positional calls with no object allocation.  The first
+  subscriber without ``apply_event`` (e.g. a test's ``list.append``)
+  transparently restores the build-one-event-and-fan-out behaviour.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable
 
 from ..hardware.specs import Tier
@@ -92,25 +104,68 @@ EventHandler = Callable[[BufferEvent], None]
 class EventBus:
     """A minimal synchronous publish/subscribe hub.
 
-    Subscription changes rebuild an immutable handler tuple, so
-    :meth:`emit` — called many times per buffer operation — is a plain
-    iteration with no locking.
+    Subscription changes rebuild an immutable handler tuple under a
+    mutation lock (concurrent ``threading`` workers may attach and
+    detach observers mid-run), so :meth:`emit` and :meth:`publish` —
+    called many times per buffer operation — stay plain lock-free
+    iterations over the current tuple.
     """
 
-    __slots__ = ("_handlers",)
+    __slots__ = ("_handlers", "_fast_appliers", "_mutate_lock")
 
     def __init__(self) -> None:
         self._handlers: tuple[EventHandler, ...] = ()
+        #: Bound ``apply_event`` methods of every handler, or ``None``
+        #: when at least one handler only accepts built events.
+        self._fast_appliers: tuple[Callable, ...] | None = ()
+        self._mutate_lock = threading.Lock()
 
     def subscribe(self, handler: EventHandler) -> EventHandler:
         """Register ``handler`` and return it (for later unsubscribe)."""
-        self._handlers = self._handlers + (handler,)
+        with self._mutate_lock:
+            self._rebuild(self._handlers + (handler,))
         return handler
 
     def unsubscribe(self, handler: EventHandler) -> None:
-        self._handlers = tuple(h for h in self._handlers if h is not handler)
+        with self._mutate_lock:
+            self._rebuild(
+                tuple(h for h in self._handlers if h is not handler)
+            )
+
+    def _rebuild(self, handlers: tuple[EventHandler, ...]) -> None:
+        """Swap in a new handler tuple and recompute the fast path."""
+        appliers = []
+        for handler in handlers:
+            apply = getattr(handler, "apply_event", None)
+            if apply is None:
+                self._fast_appliers = None
+                self._handlers = handlers
+                return
+            appliers.append(apply)
+        # Publish the appliers before the handler tuple so a concurrent
+        # publish() never pairs new appliers with missing handlers.
+        self._fast_appliers = tuple(appliers)
+        self._handlers = handlers
 
     def emit(self, event: BufferEvent) -> None:
+        for handler in self._handlers:
+            handler(event)
+
+    def publish(self, type: EventType, page_id: PageId,
+                tier: Tier | None = None, src: Tier | None = None,
+                dirty: bool = False) -> None:
+        """Emit one event, materialising it only when a subscriber needs it.
+
+        This is the hot-path entry the tier chain uses: when every
+        subscriber implements ``apply_event`` the notification is a few
+        positional calls and no :class:`BufferEvent` is constructed.
+        """
+        appliers = self._fast_appliers
+        if appliers is not None:
+            for apply in appliers:
+                apply(type, page_id, tier, src, dirty)
+            return
+        event = BufferEvent(type, page_id, tier, src, dirty)
         for handler in self._handlers:
             handler(event)
 
@@ -141,9 +196,15 @@ class StatsProjector:
 
     # ------------------------------------------------------------------
     def __call__(self, event: BufferEvent) -> None:
+        self.apply_event(event.type, event.page_id, event.tier, event.src,
+                         event.dirty)
+
+    def apply_event(self, etype: EventType, page_id: PageId,
+                    tier: Tier | None, src: Tier | None,
+                    dirty: bool) -> None:
+        """Fast-path projection: same logic as :meth:`__call__`, fed the
+        event fields positionally so the bus can skip building events."""
         stats = self._owner.stats
-        etype = event.type
-        tier = event.tier
         if etype is EventType.OP_READ:
             stats.reads += 1
         elif etype is EventType.OP_WRITE:
@@ -165,10 +226,10 @@ class StatsProjector:
             elif tier is Tier.NVM:
                 stats.ssd_to_nvm += 1
         elif etype is EventType.MIGRATE_UP:
-            if event.src is Tier.NVM and tier is Tier.DRAM:
+            if src is Tier.NVM and tier is Tier.DRAM:
                 stats.nvm_to_dram += 1
         elif etype is EventType.MIGRATE_DOWN:
-            if event.src is Tier.DRAM and tier is Tier.NVM:
+            if src is Tier.DRAM and tier is Tier.NVM:
                 stats.dram_to_nvm += 1
         elif etype is EventType.EVICT:
             if tier is Tier.DRAM:
@@ -176,9 +237,9 @@ class StatsProjector:
             elif tier is Tier.NVM:
                 stats.nvm_evictions += 1
         elif etype is EventType.WRITE_BACK:
-            if event.src is Tier.DRAM:
+            if src is Tier.DRAM:
                 stats.dram_to_ssd += 1
-            elif event.src is Tier.NVM:
+            elif src is Tier.NVM:
                 stats.nvm_to_ssd += 1
         elif etype is EventType.CLEAN_DROP:
             stats.clean_drops += 1

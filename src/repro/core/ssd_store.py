@@ -41,6 +41,24 @@ class SsdStore:
             self._pages[page_id] = page
             return page
 
+    def allocate_many(self, page_ids) -> int:
+        """Ensure every id in ``page_ids`` exists, creating missing pages.
+
+        One lock acquisition covers the whole batch, so bulk database
+        loading does not pay a lock round-trip (plus an ``exists``
+        pre-check) per page.  Existing pages are left untouched.
+        Returns the number of pages actually created.
+        """
+        created = 0
+        page_size = self.page_size
+        with self._lock:
+            pages = self._pages
+            for page_id in page_ids:
+                if page_id not in pages:
+                    pages[page_id] = Page(page_id, page_size)
+                    created += 1
+        return created
+
     def exists(self, page_id: PageId) -> bool:
         with self._lock:
             return page_id in self._pages

@@ -15,6 +15,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, fields
 
+from .events import EventType
+
 
 @dataclass
 class BufferStats:
@@ -133,15 +135,23 @@ class InclusivityTracker:
 
     def attach(self, bus) -> "InclusivityTracker":
         """Subscribe to a :class:`~repro.core.events.EventBus`."""
-        bus.subscribe(self.observe_event)
+        bus.subscribe(self)
         return self
 
+    def __call__(self, event) -> None:
+        self.apply_event(event.type, event.page_id, event.tier, event.src,
+                         event.dirty)
+
+    # Kept as an alias: callers historically subscribed ``observe_event``.
     def observe_event(self, event) -> None:
-        name = event.type.value
-        if name == "migrate_up":
+        self(event)
+
+    def apply_event(self, etype, page_id, tier, src, dirty) -> None:
+        """Bus fast path: count migrations without building an event."""
+        if etype is EventType.MIGRATE_UP:
             with self._lock:
                 self.migrations_up += 1
-        elif name == "migrate_down":
+        elif etype is EventType.MIGRATE_DOWN:
             with self._lock:
                 self.migrations_down += 1
 

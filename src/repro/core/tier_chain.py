@@ -56,8 +56,11 @@ class BufferPool:
 
     # ------------------------------------------------------------------
     def get(self, page_id: PageId) -> TierPageDescriptor | None:
-        with self.lock:
-            descriptor = self._by_page.get(page_id)
+        # Lock-free lookup: dict.get is atomic under the GIL, and the
+        # locked variant offered no stronger guarantee — the descriptor
+        # could always be evicted the instant the lock was released.
+        # Callers already revalidate under the per-page latch.
+        descriptor = self._by_page.get(page_id)
         if descriptor is not None:
             self.replacer.record_access(descriptor.frame_index)
         return descriptor

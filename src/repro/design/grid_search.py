@@ -158,19 +158,48 @@ def enumerate_shapes(
 
 def grid_search(
     workload_name: str,
-    evaluate: Callable[[StorageHierarchy, BufferManager], float],
+    evaluate: Callable[[StorageHierarchy, BufferManager], float] | None = None,
     shapes: list[HierarchyShape] | None = None,
     scale: SimulationScale | None = None,
     bm_config: BufferManagerConfig | None = None,
     policy_chooser: Callable[[HierarchyShape], MigrationPolicy] = policy_for_shape,
+    *,
+    cell_factory: Callable[[HierarchyShape, MigrationPolicy], "object"] | None = None,
+    jobs: int = 1,
 ) -> DesignResult:
     """Evaluate every candidate hierarchy and rank by perf/price.
 
-    ``evaluate`` receives a fresh hierarchy + buffer manager and must
-    return the measured throughput in operations per second.
+    Two evaluation modes:
+
+    * ``evaluate`` (legacy, serial): receives a fresh hierarchy + buffer
+      manager and must return the measured throughput in ops/sec.
+    * ``cell_factory`` (parallel-capable): receives a shape and the
+      policy ``policy_chooser`` picks for it, and must return a
+      :class:`repro.bench.executor.Cell`.  All cells run through
+      :func:`repro.bench.executor.run_cells` with ``jobs`` workers.
     """
+    if (evaluate is None) == (cell_factory is None):
+        raise TypeError("pass exactly one of evaluate= or cell_factory=")
     result = DesignResult(workload_name)
-    for shape in shapes or enumerate_shapes():
+    shapes = list(shapes or enumerate_shapes())
+    if cell_factory is not None:
+        # Deferred import: the bench package imports this module.
+        from ..bench.executor import run_cells
+
+        cells = [cell_factory(shape, policy_chooser(shape)) for shape in shapes]
+        runs = run_cells(cells, jobs=jobs)
+        for shape, res in zip(shapes, runs):
+            cost = hierarchy_cost(shape)
+            result.points.append(
+                DesignPoint(
+                    shape=shape,
+                    cost_dollars=cost,
+                    throughput=res.throughput,
+                    perf_per_price=performance_per_price(res.throughput, cost),
+                )
+            )
+        return result
+    for shape in shapes:
         hierarchy = (
             StorageHierarchy(shape, scale)
             if scale is not None

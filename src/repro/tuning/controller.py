@@ -34,6 +34,27 @@ class EpochRecord:
     temperature: float
 
 
+class _OpCounter:
+    """Bus observer that tallies operations for the controller.
+
+    Implements the bus's ``apply_event`` fast path so an attached
+    controller does not force event materialisation on every emission.
+    """
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: "AdaptiveController") -> None:
+        self._controller = controller
+
+    def __call__(self, event: BufferEvent) -> None:
+        self.apply_event(event.type, event.page_id, event.tier, event.src,
+                         event.dirty)
+
+    def apply_event(self, etype, page_id, tier, src, dirty) -> None:
+        if etype is EventType.OP_READ or etype is EventType.OP_WRITE:
+            self._controller._ops_seen += 1
+
+
 class AdaptiveController:
     """Runs the adapt-measure-decide loop on top of a buffer manager."""
 
@@ -59,7 +80,8 @@ class AdaptiveController:
         # bus rather than polling its stats object, so the measurement
         # survives a mid-epoch ``reset_stats()``.
         self._ops_seen = 0
-        buffer_manager.events.subscribe(self._observe_event)
+        self._observer = _OpCounter(self)
+        buffer_manager.events.subscribe(self._observer)
 
     def _observe_event(self, event: BufferEvent) -> None:
         if event.type is EventType.OP_READ or event.type is EventType.OP_WRITE:
@@ -67,7 +89,7 @@ class AdaptiveController:
 
     def detach(self) -> None:
         """Stop observing the buffer manager's event bus."""
-        self.bm.events.unsubscribe(self._observe_event)
+        self.bm.events.unsubscribe(self._observer)
 
     # ------------------------------------------------------------------
     def begin_epoch(self) -> MigrationPolicy:

@@ -15,7 +15,7 @@ from conftest import make_bm
 from repro.bench.event_trace import EventTraceRecorder
 from repro.bench.harness import RunConfig, WorkloadRunner
 from repro.core.buffer_manager import BufferManager
-from repro.core.events import BufferEvent, EventType
+from repro.core.events import BufferEvent, EventBus, EventType
 from repro.core.policy import DRAM_SSD_POLICY, SPITFIRE_EAGER, SPITFIRE_LAZY
 from repro.core.tier_chain import TierChain
 from repro.hardware.cost_model import StorageHierarchy
@@ -145,6 +145,79 @@ class TestEventBus:
         eager_bm.events.unsubscribe(handler)
         eager_bm.read(page)
         assert len(seen) == count
+
+    def test_fast_path_skips_event_objects(self):
+        """Handlers exposing ``apply_event`` receive raw fields and no
+        BufferEvent is ever constructed."""
+        bus = EventBus()
+
+        class FastApplier:
+            def __init__(self):
+                self.calls = []
+
+            def apply_event(self, etype, page_id, tier, src, dirty):
+                self.calls.append((etype, page_id, tier, src, dirty))
+
+            def __call__(self, event):  # pragma: no cover - must not run
+                raise AssertionError("slow path used despite fast applier")
+
+        applier = FastApplier()
+        bus.subscribe(applier)
+        bus.publish(EventType.HIT, 7, tier=Tier.DRAM)
+        assert applier.calls == [(EventType.HIT, 7, Tier.DRAM, None, False)]
+
+    def test_plain_handler_disables_fast_path(self):
+        """One event-object subscriber forces BufferEvent construction
+        for everyone — and both handler styles still see every event."""
+        bus = EventBus()
+
+        class FastApplier:
+            def __init__(self):
+                self.calls = []
+
+            def apply_event(self, etype, page_id, tier, src, dirty):
+                self.calls.append(etype)
+
+            def __call__(self, event):
+                self.apply_event(event.type, event.page_id, event.tier,
+                                 event.src, event.dirty)
+
+        applier = FastApplier()
+        events: list[BufferEvent] = []
+        bus.subscribe(applier)
+        bus.subscribe(events.append)
+        bus.publish(EventType.MISS, 3)
+        assert applier.calls == [EventType.MISS]
+        assert len(events) == 1 and events[0].type is EventType.MISS
+
+    def test_concurrent_subscribe_during_publish(self):
+        """subscribe/unsubscribe from other threads must never corrupt
+        the handler list or crash a concurrent publish."""
+        import threading
+
+        bus = EventBus()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    handle = bus.subscribe(lambda event: None)
+                    bus.unsubscribe(handle)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(3_000):
+                bus.publish(EventType.HIT, i, tier=Tier.DRAM)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
 
     def test_trace_matches_stats(self, eager_bm):
         trace = EventTraceRecorder().attach(eager_bm)
