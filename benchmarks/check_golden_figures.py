@@ -1,0 +1,93 @@
+"""Golden-figure gate: regenerate figures and byte-compare their JSON.
+
+The refactoring contract of the core (PR 1's chain decomposition, the
+four-component core split) is that figure output is *byte-identical*
+to the archived seed results under ``benchmarks/results/``.  This
+script enforces that mechanically: it reruns the named experiments at
+quick effort, serialises them exactly the way the benchmark suite
+does (``ExperimentResult.save_json``), and compares the bytes against
+the archived JSON.  CI runs it on every push, so bit-identity is a
+pipeline property rather than a by-hand claim.
+
+Usage::
+
+    python benchmarks/check_golden_figures.py            # fig6 + fig7
+    python benchmarks/check_golden_figures.py fig6 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.experiments import REGISTRY
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Experiments cheap enough to regenerate on every CI run while still
+#: exercising the full chain walk (hits, misses, promotions, evictions,
+#: write-backs) across four workloads and two worker counts each.
+DEFAULT_EXPERIMENTS = ("fig6", "fig7")
+
+
+def check(experiment_id: str, jobs: int) -> bool:
+    golden = RESULTS_DIR / f"{experiment_id}.json"
+    if not golden.exists():
+        print(f"FAIL {experiment_id}: no archived result at {golden}")
+        return False
+    started = time.time()
+    result = REGISTRY[experiment_id](quick=True, jobs=jobs)
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = result.save_json(tmp)
+        fresh_bytes = fresh.read_bytes()
+    golden_bytes = golden.read_bytes()
+    elapsed = time.time() - started
+    if fresh_bytes == golden_bytes:
+        print(f"OK   {experiment_id}: byte-identical to {golden} "
+              f"({len(golden_bytes)} bytes, {elapsed:.1f}s)")
+        return True
+    print(f"FAIL {experiment_id}: output differs from {golden} "
+          f"({elapsed:.1f}s)")
+    _explain(golden_bytes, fresh_bytes)
+    return False
+
+
+def _explain(golden_bytes: bytes, fresh_bytes: bytes) -> None:
+    """Print the first differing series point to make CI logs actionable."""
+    import json
+
+    golden = json.loads(golden_bytes)
+    fresh = json.loads(fresh_bytes)
+    for label, points in golden.get("series", {}).items():
+        fresh_points = fresh.get("series", {}).get(label)
+        if fresh_points == points:
+            continue
+        print(f"  first differing series: {label!r}")
+        print(f"    golden: {points}")
+        print(f"    fresh:  {fresh_points}")
+        return
+    print("  series identical; difference is in notes/metadata/formatting")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*",
+                        default=list(DEFAULT_EXPERIMENTS),
+                        help=f"experiment ids (default: {' '.join(DEFAULT_EXPERIMENTS)})")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes per experiment (results are "
+                             "identical at any job count)")
+    args = parser.parse_args(argv)
+
+    unknown = [e for e in args.experiments if e not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    failures = [e for e in args.experiments if not check(e, args.jobs)]
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

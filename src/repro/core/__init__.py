@@ -1,5 +1,16 @@
-"""Spitfire's core: migration policies, descriptors, and the buffer manager."""
+"""Spitfire's core: migration policies, descriptors, and the buffer manager.
 
+The buffer manager itself is a facade over a four-component core —
+:class:`~repro.core.access_path.AccessPath` (the read/write chain
+walk), :class:`~repro.core.fine_grained.FineGrainedOps` (cache-line /
+mini-page layouts), :class:`~repro.core.space_manager.SpaceManager`
+(eviction and reclamation), and
+:class:`~repro.core.flush_engine.FlushEngine` (write-back and
+crash/recovery) — wired over the tier chain, migration engine, and
+event bus.
+"""
+
+from .access_path import AccessPath
 from .admission import AdmissionQueue, recommended_queue_size
 from .analysis import (
     accesses_for_confidence,
@@ -16,7 +27,10 @@ from .buffer_manager import (
     BufferPool,
 )
 from .descriptors import SharedPageDescriptor, TierPageDescriptor
+from .devio import device_read, device_write
 from .events import BufferEvent, EventBus, EventType, StatsProjector
+from .fine_grained import FineGrainedOps
+from .flush_engine import FlushEngine
 from .hymem import make_hymem
 from .mapping_table import MappingTable
 from .migration import Edge, MigrationEngine, MigrationOp
@@ -29,12 +43,15 @@ from .policy import (
     SPITFIRE_LAZY,
     MigrationPolicy,
     NvmAdmission,
+    PolicySlot,
 )
+from .space_manager import SpaceManager
 from .ssd_store import SsdStore
 from .stats import BufferStats, InclusivitySample, InclusivityTracker, inclusivity_ratio
 from .tier_chain import TierChain, TierNode
 
 __all__ = [
+    "AccessPath",
     "AccessResult",
     "AdmissionQueue",
     "accesses_for_confidence",
@@ -52,6 +69,8 @@ __all__ = [
     "Edge",
     "EventBus",
     "EventType",
+    "FineGrainedOps",
+    "FlushEngine",
     "HYMEM_POLICY",
     "InclusivitySample",
     "InclusivityTracker",
@@ -62,14 +81,18 @@ __all__ = [
     "NVM_SSD_POLICY",
     "NvmAdmission",
     "POLICY_PRESETS",
+    "PolicySlot",
     "SPITFIRE_EAGER",
     "SPITFIRE_LAZY",
     "SharedPageDescriptor",
+    "SpaceManager",
     "SsdStore",
     "StatsProjector",
     "TierChain",
     "TierNode",
     "TierPageDescriptor",
+    "device_read",
+    "device_write",
     "inclusivity_ratio",
     "make_hymem",
     "recommended_queue_size",

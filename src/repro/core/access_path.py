@@ -1,0 +1,275 @@
+"""The read/write access path: the page-motion pipeline (§3.1–§3.4).
+
+This component walks the tier chain for every logical access:
+
+* top-down hit scan; on a non-top hit, one promotion draw per edge
+  climbs the page toward the top (§3.1/§3.2, :meth:`AccessPath.climb`),
+* a full miss fetches from SSD bottom-up: each non-top node draws its
+  fetch-admission knob, slowest first, and the first admit wins (§3.3,
+  :meth:`AccessPath.fetch_from_ssd`); after the install, promotion
+  draws may carry the page further up (§3.4's path ③+①),
+* accesses landing below the top are served *in place* — the DRAM
+  bypass (§3.1/§3.2, :meth:`AccessPath.serve_direct`): the CPU works
+  on the tier-resident data directly, with a persist barrier when the
+  tier is durable,
+* upward migrations copy a full page one edge up after waiting for
+  readers of the lower copy (§5.2, :meth:`AccessPath.migrate_up`), or
+  build a cache-line/mini-page view when fine-grained loading is on.
+
+Collaborators are explicit: chain, mapping table, migration engine,
+SSD store, event bus, hierarchy, and the shared
+:class:`~repro.core.policy.PolicySlot` at construction; the space
+manager (frame reservations) and fine-grained ops (partial layouts)
+via :meth:`bind`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.cost_model import StorageHierarchy
+from ..hardware.specs import Tier
+from ..pages.page import Page, PageId
+from .descriptors import SharedPageDescriptor, TierPageDescriptor
+from .devio import device_read, device_write
+from .events import EventBus, EventType
+from .mapping_table import MappingTable
+from .migration import Edge, MigrationEngine, MigrationOp
+from .policy import MigrationPolicy, PolicySlot
+from .ssd_store import SsdStore
+from .tier_chain import TierChain, TierNode
+
+__all__ = ["AccessPath", "AccessResult"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one buffer-manager read or write."""
+
+    page_id: PageId
+    served_tier: Tier
+    #: True when the page was already buffered (no SSD fetch).
+    hit: bool
+    #: True when the access was served on NVM without a DRAM migration.
+    bypassed_dram: bool = False
+
+
+class AccessPath:
+    """The chain walk serving every logical read and write."""
+
+    def __init__(self, chain: TierChain, table: MappingTable,
+                 hierarchy: StorageHierarchy, engine: MigrationEngine,
+                 store: SsdStore, events: EventBus,
+                 policy_slot: PolicySlot, config) -> None:
+        self.chain = chain
+        self.table = table
+        self.hierarchy = hierarchy
+        self.engine = engine
+        self.store = store
+        self.policy_slot = policy_slot
+        self.config = config
+        self._emit = events.publish
+        #: Bound by :meth:`bind`: installs reserve frames through the
+        #: space manager; partial layouts are served by fine-grained ops.
+        self.space = None
+        self.fine = None
+
+    def bind(self, space, fine) -> None:
+        self.space = space
+        self.fine = fine
+
+    def _cpu(self, service_ns: float) -> None:
+        self.hierarchy.charge_cpu(service_ns)
+
+    # ------------------------------------------------------------------
+    # The generic chain walk
+    # ------------------------------------------------------------------
+    def access(self, page_id: PageId, offset: int, nbytes: int,
+               is_write: bool) -> AccessResult:
+        """The generic chain walk shared by ``read`` and ``write``.
+
+        Top-down hit scan; on a non-top hit, one promotion draw per edge
+        climbs the page toward the top (§3.1/§3.2).  A full miss goes to
+        :meth:`fetch_from_ssd`.
+        """
+        hierarchy = self.hierarchy
+        hierarchy.begin_op()
+        try:
+            hierarchy.charge_cpu(hierarchy.cpu_costs.lookup_ns)
+            self._emit(EventType.OP_WRITE if is_write else EventType.OP_READ,
+                       page_id)
+            shared = self.table.get_or_create(page_id)
+            # Atomic attribute read; ``set_policy`` replaces the whole
+            # object, so skipping the slot's lock is race-free here.
+            policy = self.policy_slot.current
+
+            promote_op = (
+                MigrationOp.PROMOTE_WRITE if is_write else MigrationOp.PROMOTE_READ
+            )
+            for node in self.chain.nodes:
+                descriptor = node.pool.get(page_id)
+                if descriptor is None:
+                    continue
+                self._emit(EventType.HIT, page_id, tier=node.tier)
+                node, descriptor = self.climb(
+                    shared, node, descriptor, promote_op, offset, nbytes, policy
+                )
+                return self.serve(node, shared, descriptor, offset, nbytes,
+                                  is_write, hit=True)
+
+            tier = self.fetch_from_ssd(shared, page_id, offset, nbytes, is_write)
+            bypassed = tier not in (Tier.DRAM, Tier.SSD)
+            return AccessResult(page_id, tier, hit=False, bypassed_dram=bypassed)
+        finally:
+            hierarchy.end_op()
+
+    def climb(self, shared: SharedPageDescriptor, node: TierNode,
+              descriptor: TierPageDescriptor, promote_op: MigrationOp,
+              offset: int, nbytes: int,
+              policy: MigrationPolicy) -> tuple[TierNode, TierPageDescriptor]:
+        """Chained one-edge promotion draws from ``node`` toward the top."""
+        while node.index > 0:
+            upper = self.chain.upper_of(node)
+            edge = Edge(node.tier, upper.tier)
+            if not self.engine.decide(edge, promote_op, shared.page_id, policy):
+                break
+            descriptor = self.migrate_up(shared, descriptor, node, upper,
+                                         offset, nbytes)
+            node = upper
+        return node, descriptor
+
+    def serve(self, node: TierNode, shared: SharedPageDescriptor,
+              descriptor: TierPageDescriptor, offset: int, nbytes: int,
+              is_write: bool, hit: bool) -> AccessResult:
+        """Serve an access on whichever node the walk landed on."""
+        if node.index == 0 and not node.persistent:
+            self.fine.serve_resident_access(node, shared, descriptor, offset,
+                                            nbytes, is_write)
+            return AccessResult(shared.page_id, node.tier, hit=hit)
+        self.serve_direct(node, descriptor, nbytes, is_write)
+        return AccessResult(shared.page_id, node.tier, hit=hit,
+                            bypassed_dram=True)
+
+    def serve_direct(self, node: TierNode, descriptor: TierPageDescriptor,
+                     nbytes: int, is_write: bool) -> None:
+        """Operate on a lower-tier copy in place — the DRAM bypass (§3.1,
+        §3.2): the CPU works on the tier-resident data directly, with a
+        persist barrier when the tier is durable."""
+        device = node.device
+        page_id = descriptor.page_id
+        if is_write:
+            device_write(device, page_id, nbytes)
+            if node.persistent:
+                device.persist_barrier()
+            descriptor.mark_dirty()
+            self._emit(EventType.DIRECT_WRITE, page_id, tier=node.tier)
+        else:
+            device_read(device, page_id, nbytes)
+            self._emit(EventType.DIRECT_READ, page_id, tier=node.tier)
+
+    # ------------------------------------------------------------------
+    # SSD miss path
+    # ------------------------------------------------------------------
+    def fetch_from_ssd(self, shared: SharedPageDescriptor, page_id: PageId,
+                       offset: int, nbytes: int, is_write: bool) -> Tier:
+        """Bottom-up fetch admission over the chain (§3.3).
+
+        Each non-top node draws its fetch-admission knob, slowest first;
+        the first admit wins.  The top node is the unconditional fallback
+        — a fetch must land somewhere.  After the install, promotion
+        draws may carry the page further up (§3.4's path ③+①).
+        """
+        self._emit(EventType.MISS, page_id, tier=Tier.SSD)
+        policy = self.policy_slot.current
+        durable = self.store.read_page(page_id)  # charges the SSD read
+
+        landed: TierNode | None = None
+        for node in reversed(self.chain.nodes):
+            if node.index == 0:
+                landed = node
+                break
+            edge = Edge(Tier.SSD, node.tier)
+            if self.engine.decide(edge, MigrationOp.FETCH_ADMIT, page_id, policy):
+                landed = node
+                break
+        if landed is None:
+            # Degenerate bufferless configuration: operate straight on SSD.
+            if is_write:
+                self.store.write_page(durable)
+            return Tier.SSD
+
+        descriptor = self.install(landed, shared, durable.clone())
+        promote_op = (
+            MigrationOp.PROMOTE_WRITE if is_write else MigrationOp.PROMOTE_READ
+        )
+        landed, descriptor = self.climb(
+            shared, landed, descriptor, promote_op, offset, nbytes, policy
+        )
+        return self.serve(landed, shared, descriptor, offset, nbytes,
+                          is_write, hit=False).served_tier
+
+    def install(self, node: TierNode, shared: SharedPageDescriptor,
+                content: Page) -> TierPageDescriptor:
+        """Place a full page copy into a node's pool, evicting as needed."""
+        with shared.latched(node.tier):
+            existing = shared.copy_on(node.tier)
+            if existing is not None:
+                # A concurrent miss on the same page installed it first;
+                # this fetch still counts as an install toward the tier.
+                self._emit(EventType.INSTALL, content.page_id, tier=node.tier,
+                           src=Tier.SSD)
+                return existing
+            descriptor = self.space.insert_with_space(
+                node.tier, content, self.hierarchy.page_size,
+                protect=content.page_id,
+            )
+            shared.attach(descriptor)
+        # Page installs land at random frame locations: NVM pays its
+        # random-write bandwidth (6 GB/s on Optane), DRAM does not care.
+        device_write(node.device, content.page_id, self.hierarchy.page_size,
+                     sequential=node.install_sequential)
+        if node.persistent:
+            node.device.persist_barrier()
+        self._emit(EventType.INSTALL, content.page_id, tier=node.tier,
+                   src=Tier.SSD)
+        return descriptor
+
+    # ------------------------------------------------------------------
+    # Upward migration (§3.1, §5.2)
+    # ------------------------------------------------------------------
+    def migrate_up(self, shared: SharedPageDescriptor,
+                   lower_desc: TierPageDescriptor, lower: TierNode,
+                   upper: TierNode, offset: int,
+                   nbytes: int) -> TierPageDescriptor:
+        costs = self.hierarchy.cpu_costs
+        existing = upper.pool.get(shared.page_id)
+        if existing is not None:
+            return existing
+        with shared.latched(upper.tier, lower.tier):
+            # §5.2: wait for readers of the lower copy so the upper copy
+            # cannot miss concurrent modifications.
+            shared.wait_for_unpinned(lower.tier)
+            existing = shared.copy_on(upper.tier)
+            if existing is not None:
+                return existing
+            self._cpu(costs.migration_ns)
+            lower_content = lower_desc.content
+            if not isinstance(lower_content, Page):  # pragma: no cover - defensive
+                raise RuntimeError("lower-tier frames always hold full pages")
+            if self.config.fine_grained:
+                descriptor = self.fine.install_fine_grained(shared, lower_content,
+                                                            offset, nbytes)
+            else:
+                device_read(lower.device, shared.page_id,
+                            self.hierarchy.page_size)
+                self._cpu(costs.copy_ns(self.hierarchy.page_size))
+                descriptor = self.space.insert_with_space(
+                    upper.tier, lower_content.clone(), self.hierarchy.page_size,
+                    protect=shared.page_id,
+                )
+                shared.attach(descriptor)
+                device_write(upper.device, shared.page_id,
+                             self.hierarchy.page_size, sequential=True)
+            self._emit(EventType.MIGRATE_UP, shared.page_id, tier=upper.tier,
+                       src=lower.tier)
+            return descriptor

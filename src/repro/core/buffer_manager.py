@@ -1,6 +1,7 @@
-"""The Spitfire multi-tier buffer manager (§5 of the paper).
+"""The Spitfire multi-tier buffer manager facade (§5 of the paper).
 
-:class:`BufferManager` is a facade over three collaborating layers:
+:class:`BufferManager` is configuration, wiring, and delegation over a
+four-component core plus the three layers PR 1 extracted:
 
 * a :class:`~repro.core.tier_chain.TierChain` of
   :class:`~repro.core.tier_chain.TierNode` objects (buffer pool + device
@@ -8,18 +9,26 @@
 * a :class:`~repro.core.migration.MigrationEngine` that owns every
   probabilistic admission/bypass/write-back decision of §3's
   ``<D_r, D_w, N_r, N_w>`` policy tuple (and HyMem's admission queue),
-* an :class:`~repro.core.events.EventBus` that publishes typed
+* an :class:`~repro.core.events.EventBus` publishing typed
   :class:`~repro.core.events.BufferEvent` records for every hit, miss,
-  install, migration, eviction, write-back, and flush — consumed by the
-  statistics projector, the inclusivity tracker, the adaptive tuner,
-  and the bench-side event-trace reporter.
+  install, migration, eviction, write-back, and flush,
+* the :class:`~repro.core.access_path.AccessPath` — the read/write
+  chain walk (§3.1–§3.4): hit scan, promotion climbs, SSD fetches,
+  installs, and upward migrations,
+* the :class:`~repro.core.fine_grained.FineGrainedOps` — HyMem's
+  cache-line and mini-page serving, loading-cost model, and layout
+  transitions (§2.1, Fig. 11/12),
+* the :class:`~repro.core.space_manager.SpaceManager` — victim
+  selection, eviction cascades, and the victim-cache admission of clean
+  evictions (§3.4),
+* the :class:`~repro.core.flush_engine.FlushEngine` — checkpoint
+  flushing, partial-layout write-back, and crash/recovery (§5.2).
 
-The fetch/promotion/eviction/flush paths walk the chain generically, so
-the paper's DRAM-SSD, NVM-SSD, and DRAM-NVM-SSD configurations — and a
-four-tier DRAM-CXL-NVM-SSD chain — are all just different chain shapes.
-Setting the policy and configuration appropriately also yields the HyMem
-baseline (eager DRAM, admission-queue NVM, cache-line-grained loading,
-mini pages) — see :mod:`repro.core.hymem`.
+Each component takes its collaborators explicitly (no back-reference
+into this facade for logic) and is independently constructible; the
+facade preserves the original public API (`read`/`write`/`flush_*`/
+`simulate_crash`/…) so `hymem.py`, the engine, the WAL, and the bench
+harness are unaffected by the decomposition.
 
 Costing: every device transfer is charged to the hierarchy's shared
 :class:`~repro.hardware.simclock.CostAccumulator`; every bookkeeping
@@ -30,26 +39,28 @@ demands into simulated throughput.
 from __future__ import annotations
 
 import random
-import threading
 from dataclasses import dataclass
 
 from ..hardware.cost_model import StorageHierarchy
 from ..hardware.device import Device
 from ..hardware.memory_mode import MemoryModeDevice
 from ..hardware.specs import CACHE_LINE_SIZE, Tier
-from ..pages.cacheline_page import CacheLinePage
 from ..pages.granularity import OPTANE_LOADING_UNIT, LoadingUnit
-from ..pages.mini_page import MINI_PAGE_BYTES, MINI_PAGE_SLOTS, MiniPage, MiniPageOverflow
-from ..pages.page import Page, PageId
+from ..pages.mini_page import MINI_PAGE_BYTES
+from ..pages.page import PageId
+from .access_path import AccessPath, AccessResult
 from .admission import AdmissionQueue, recommended_queue_size
-from .descriptors import SharedPageDescriptor, TierPageDescriptor
-from .events import EventBus, EventType, StatsProjector
+from .descriptors import TierPageDescriptor
+from .events import EventBus, StatsProjector
+from .fine_grained import FineGrainedOps
+from .flush_engine import FlushEngine
 from .mapping_table import MappingTable
-from .migration import Edge, MigrationEngine, MigrationOp
-from .policy import MigrationPolicy, NvmAdmission
+from .migration import MigrationEngine
+from .policy import MigrationPolicy, NvmAdmission, PolicySlot
+from .space_manager import SpaceManager
 from .ssd_store import SsdStore
 from .stats import BufferStats, InclusivityTracker
-from .tier_chain import BufferFullError, BufferPool, TierChain, TierNode
+from .tier_chain import BufferFullError, BufferPool, TierChain
 
 __all__ = [
     "AccessResult",
@@ -85,35 +96,6 @@ class BufferManagerConfig:
             raise ValueError("mini_pages requires fine_grained loading")
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Outcome of one buffer-manager read or write."""
-
-    page_id: PageId
-    served_tier: Tier
-    #: True when the page was already buffered (no SSD fetch).
-    hit: bool
-    #: True when the access was served on NVM without a DRAM migration.
-    bypassed_dram: bool = False
-
-
-def _device_read(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
-                 sequential: bool = False) -> None:
-    """Read dispatch that lets memory-mode devices see page identity."""
-    if isinstance(device, MemoryModeDevice):
-        device.read_page(page_id, nbytes, sequential)
-    else:
-        device.read(nbytes, sequential)
-
-
-def _device_write(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
-                  sequential: bool = False) -> None:
-    if isinstance(device, MemoryModeDevice):
-        device.write_page(page_id, nbytes, sequential)
-    else:
-        device.write(nbytes, sequential)
-
-
 class BufferManager:
     """Multi-tier buffer manager with probabilistic data migration.
 
@@ -140,8 +122,7 @@ class BufferManager:
             raise ValueError("the hierarchy must include an SSD tier for the database")
         self.hierarchy = hierarchy
         self.config = config or BufferManagerConfig()
-        self._policy = policy
-        self._policy_lock = threading.Lock()
+        self.policy_slot = PolicySlot(policy)
         self.rng = random.Random(self.config.seed)
         self.table = MappingTable(self.config.mapping_shards)
         self.store = SsdStore(hierarchy.device(Tier.SSD), hierarchy.page_size)
@@ -151,9 +132,6 @@ class BufferManager:
         self.events.subscribe(self._stats_projector)
         self.inclusivity = InclusivityTracker()
         self.inclusivity.attach(self.events)
-        #: Pre-bound hot-path emitter: every internal ``self._emit(...)``
-        #: goes straight to the bus's no-allocation publish path.
-        self._emit = self.events.publish
 
         top_entry = MINI_PAGE_BYTES if self.config.mini_pages else None
         self.chain = TierChain.build(
@@ -179,26 +157,39 @@ class BufferManager:
             if size is None:
                 size = recommended_queue_size(self.pools[Tier.NVM].max_entries)
             self.admission_queue = AdmissionQueue(size)
-        self.engine = MigrationEngine(self, self.rng, self.admission_queue)
+        self.engine = MigrationEngine(self.policy_slot, self.rng,
+                                      self.admission_queue)
+
+        # The four-component core.  Constructors take collaborators
+        # explicitly; the mutually recursive links (evictions trigger
+        # layout transitions trigger evictions, ...) are bound after.
+        self.fine_grained = FineGrainedOps(self.chain, hierarchy, self.events,
+                                           self.config)
+        self.space = SpaceManager(self.chain, self.table, hierarchy,
+                                  self.engine, self.store, self.events)
+        self.flush_engine = FlushEngine(self.chain, self.table, hierarchy,
+                                        self.engine, self.store, self.events)
+        self.access_path = AccessPath(self.chain, self.table, hierarchy,
+                                      self.engine, self.store, self.events,
+                                      self.policy_slot, self.config)
+        self.fine_grained.bind(self.space)
+        self.space.bind(self.fine_grained, self.flush_engine)
+        self.flush_engine.bind(self.space)
+        self.access_path.bind(self.space, self.fine_grained)
 
     # ------------------------------------------------------------------
     # Policy management
     # ------------------------------------------------------------------
     @property
     def policy(self) -> MigrationPolicy:
-        with self._policy_lock:
-            return self._policy
+        return self.policy_slot.policy
 
     def set_policy(self, policy: MigrationPolicy) -> None:
         """Swap the migration policy at runtime (used by the tuner, §4)."""
-        with self._policy_lock:
-            self._policy = policy
+        self.policy_slot.set(policy)
 
     def _device(self, tier: Tier) -> Device | MemoryModeDevice:
         return self.hierarchy.device(tier)
-
-    def _cpu(self, service_ns: float) -> None:
-        self.hierarchy.charge_cpu(service_ns)
 
     # ------------------------------------------------------------------
     # Page lifecycle
@@ -250,95 +241,12 @@ class BufferManager:
     def read(self, page_id: PageId, offset: int = 0,
              nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
         """Serve a read of ``nbytes`` at ``offset`` within the page."""
-        return self._access(page_id, offset, nbytes, is_write=False)
+        return self.access_path.access(page_id, offset, nbytes, is_write=False)
 
     def write(self, page_id: PageId, offset: int = 0,
               nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
         """Serve an in-place update of ``nbytes`` at ``offset``."""
-        return self._access(page_id, offset, nbytes, is_write=True)
-
-    def _access(self, page_id: PageId, offset: int, nbytes: int,
-                is_write: bool) -> AccessResult:
-        """The generic chain walk shared by :meth:`read` and :meth:`write`.
-
-        Top-down hit scan; on a non-top hit, one promotion draw per edge
-        climbs the page toward the top (§3.1/§3.2).  A full miss goes to
-        :meth:`_fetch_from_ssd`.
-        """
-        hierarchy = self.hierarchy
-        hierarchy.begin_op()
-        try:
-            hierarchy.charge_cpu(hierarchy.cpu_costs.lookup_ns)
-            self._emit(EventType.OP_WRITE if is_write else EventType.OP_READ,
-                       page_id)
-            shared = self.table.get_or_create(page_id)
-            # Atomic attribute read; ``set_policy`` replaces the whole
-            # object, so skipping the property's lock is race-free here.
-            policy = self._policy
-
-            promote_op = (
-                MigrationOp.PROMOTE_WRITE if is_write else MigrationOp.PROMOTE_READ
-            )
-            for node in self.chain.nodes:
-                descriptor = node.pool.get(page_id)
-                if descriptor is None:
-                    continue
-                self._emit(EventType.HIT, page_id, tier=node.tier)
-                node, descriptor = self._climb(
-                    shared, node, descriptor, promote_op, offset, nbytes, policy
-                )
-                return self._serve(node, shared, descriptor, offset, nbytes,
-                                   is_write, hit=True)
-
-            tier = self._fetch_from_ssd(shared, page_id, offset, nbytes, is_write)
-            bypassed = tier not in (Tier.DRAM, Tier.SSD)
-            return AccessResult(page_id, tier, hit=False, bypassed_dram=bypassed)
-        finally:
-            hierarchy.end_op()
-
-    def _climb(self, shared: SharedPageDescriptor, node: TierNode,
-               descriptor: TierPageDescriptor, promote_op: MigrationOp,
-               offset: int, nbytes: int,
-               policy: MigrationPolicy) -> tuple[TierNode, TierPageDescriptor]:
-        """Chained one-edge promotion draws from ``node`` toward the top."""
-        while node.index > 0:
-            upper = self.chain.upper_of(node)
-            edge = Edge(node.tier, upper.tier)
-            if not self.engine.decide(edge, promote_op, shared.page_id, policy):
-                break
-            descriptor = self._migrate_up(shared, descriptor, node, upper,
-                                          offset, nbytes)
-            node = upper
-        return node, descriptor
-
-    def _serve(self, node: TierNode, shared: SharedPageDescriptor,
-               descriptor: TierPageDescriptor, offset: int, nbytes: int,
-               is_write: bool, hit: bool) -> AccessResult:
-        """Serve an access on whichever node the walk landed on."""
-        if node.index == 0 and not node.persistent:
-            self._serve_resident_access(node, shared, descriptor, offset,
-                                        nbytes, is_write)
-            return AccessResult(shared.page_id, node.tier, hit=hit)
-        self._serve_direct(node, descriptor, nbytes, is_write)
-        return AccessResult(shared.page_id, node.tier, hit=hit,
-                            bypassed_dram=True)
-
-    def _serve_direct(self, node: TierNode, descriptor: TierPageDescriptor,
-                      nbytes: int, is_write: bool) -> None:
-        """Operate on a lower-tier copy in place — the DRAM bypass (§3.1,
-        §3.2): the CPU works on the tier-resident data directly, with a
-        persist barrier when the tier is durable."""
-        device = node.device
-        page_id = descriptor.page_id
-        if is_write:
-            _device_write(device, page_id, nbytes)
-            if node.persistent:
-                device.persist_barrier()
-            descriptor.mark_dirty()
-            self._emit(EventType.DIRECT_WRITE, page_id, tier=node.tier)
-        else:
-            _device_read(device, page_id, nbytes)
-            self._emit(EventType.DIRECT_READ, page_id, tier=node.tier)
+        return self.access_path.access(page_id, offset, nbytes, is_write=True)
 
     # ------------------------------------------------------------------
     # Engine-facing pinned access
@@ -374,122 +282,13 @@ class BufferManager:
     # Flushing / checkpointing support
     # ------------------------------------------------------------------
     def flush_dirty_dram(self, limit: int | None = None) -> int:
-        """Write dirty top-tier pages down to durable media (the
-        recovery-protocol flush).
-
-        Dirty pages on persistent buffer tiers are *not* flushed: they
-        are already durable (§5.2 Recovery).  A flush prefers refreshing
-        or installing a copy on the nearest persistent buffer tier over
-        paying the SSD write.  Returns the number flushed.
-        """
-        top = self.chain.top
-        if top is None or top.persistent:
-            return 0
-        persist_node = self.chain.first_persistent_below(top)
-        latch_tiers = self.chain.tiers + (Tier.SSD,)
-        flushed = 0
-        self.hierarchy.begin_op()
-        try:
-            flushed = self._flush_dirty_dram_batch(
-                top, persist_node, latch_tiers, limit
-            )
-        finally:
-            self.hierarchy.end_op()
-        return flushed
-
-    def _flush_dirty_dram_batch(self, top: TierNode,
-                                 persist_node: TierNode | None,
-                                 latch_tiers: tuple[Tier, ...],
-                                 limit: int | None) -> int:
-        flushed = 0
-        for descriptor in top.pool.descriptors():
-            if limit is not None and flushed >= limit:
-                break
-            if not descriptor.dirty or descriptor.pinned:
-                continue
-            shared = self.table.get(descriptor.page_id)
-            if shared is None:
-                continue
-            with shared.latched(*latch_tiers):
-                if not descriptor.dirty:
-                    continue
-                content = descriptor.content
-                persist_desc = (
-                    shared.copy_on(persist_node.tier)
-                    if persist_node is not None else None
-                )
-                if isinstance(content, (CacheLinePage, MiniPage)):
-                    # Partial layouts persist their dirty lines into the
-                    # NVM backing page, which is durable.
-                    self._writeback_lines_to_nvm(shared, descriptor)
-                elif persist_desc is not None and isinstance(persist_desc.content, Page):
-                    # A live persistent copy makes the page durable with
-                    # one NVM page write — far cheaper than the SSD path.
-                    _device_read(top.device, descriptor.page_id,
-                                 self.hierarchy.page_size, sequential=True)
-                    persist_desc.content.copy_from(content)
-                    _device_write(persist_node.device, descriptor.page_id,
-                                  self.hierarchy.page_size)
-                    persist_node.device.persist_barrier()
-                    persist_desc.mark_dirty()
-                elif self._flush_admits_to_nvm(descriptor.page_id):
-                    # The flush is a downward write migration, so N_w (or
-                    # HyMem's admission queue) chooses its destination —
-                    # installing the page in NVM persists it without the
-                    # SSD write (§3.4's path ⑤ applied to checkpoints).
-                    _device_read(top.device, descriptor.page_id,
-                                 self.hierarchy.page_size, sequential=True)
-                    persist_desc = self._insert_with_space(
-                        persist_node.tier, content.clone(),
-                        self.hierarchy.page_size, protect=descriptor.page_id,
-                    )
-                    shared.attach(persist_desc)
-                    persist_desc.mark_dirty()
-                    _device_write(persist_node.device, descriptor.page_id,
-                                  self.hierarchy.page_size)
-                    persist_node.device.persist_barrier()
-                    self._emit(EventType.MIGRATE_DOWN, descriptor.page_id,
-                               tier=persist_node.tier, src=top.tier, dirty=True)
-                else:
-                    _device_read(top.device, descriptor.page_id,
-                                 self.hierarchy.page_size, sequential=True)
-                    self.store.write_page(content, sequential=True)
-                descriptor.clear_dirty()
-                flushed += 1
-                self._emit(EventType.FLUSH, descriptor.page_id, tier=top.tier)
-        return flushed
-
-    def _flush_admits_to_nvm(self, page_id: PageId) -> bool:
-        """Should a checkpoint flush land in NVM rather than on SSD?"""
-        top = self.chain.top
-        persist_node = (
-            self.chain.first_persistent_below(top) if top is not None else None
-        )
-        if persist_node is None:
-            return False
-        edge = Edge(top.tier, persist_node.tier)
-        return self.engine.decide(edge, MigrationOp.FLUSH_ADMIT, page_id)
+        """Write dirty top-tier pages down to durable media; see
+        :meth:`~repro.core.flush_engine.FlushEngine.flush_dirty_dram`."""
+        return self.flush_engine.flush_dirty_dram(limit)
 
     def flush_all(self) -> int:
         """Flush every dirty buffered page down to SSD (shutdown path)."""
-        flushed = self.flush_dirty_dram()
-        top = self.chain.top
-        for node in self.chain:
-            if node is top and not node.persistent:
-                continue
-            for descriptor in node.pool.descriptors():
-                if not descriptor.dirty:
-                    continue
-                shared = self.table.get(descriptor.page_id)
-                if shared is None:
-                    continue
-                with shared.latched(node.tier, Tier.SSD):
-                    if descriptor.dirty and isinstance(descriptor.content, Page):
-                        node.device.read(self.hierarchy.page_size)
-                        self.store.write_page(descriptor.content, sequential=True)
-                        descriptor.clear_dirty()
-                        flushed += 1
-        return flushed
+        return self.flush_engine.flush_all()
 
     # ------------------------------------------------------------------
     # Observability
@@ -529,525 +328,18 @@ class BufferManager:
     # Crash / recovery hooks (§5.2 Recovery)
     # ------------------------------------------------------------------
     def simulate_crash(self) -> None:
-        """Drop all volatile state: volatile pools and the mapping table.
-
-        Persistent pools' frames survive (NVM is persistent); the mapping
-        table is DRAM-resident and must be reconstructed by recovery.
-        """
-        for node in self.chain.volatile_nodes:
-            for descriptor in node.pool.descriptors():
-                node.pool.remove(descriptor)
-        self.table.clear()
+        """Drop all volatile state; see
+        :meth:`~repro.core.flush_engine.FlushEngine.simulate_crash`."""
+        self.flush_engine.simulate_crash()
 
     def recover_mapping_table(self) -> int:
-        """Rebuild the mapping table by scanning persistent buffers.
+        """Rebuild the mapping table from persistent buffers; see
+        :meth:`~repro.core.flush_engine.FlushEngine.recover_mapping_table`."""
+        return self.flush_engine.recover_mapping_table()
 
-        Mirrors the first recovery step in §5.2: collect the page ids of
-        NVM-resident frames and reconstruct their descriptors.  Returns
-        the number of recovered entries.
-        """
-        recovered = 0
-        for node in self.chain.persistent_nodes:
-            for descriptor in node.pool.descriptors():
-                shared = self.table.get_or_create(descriptor.page_id)
-                if shared.copy_on(node.tier) is None:
-                    shared.attach(descriptor)
-                    recovered += 1
-                # Scanning the buffer costs a header read per frame.
-                node.device.read(CACHE_LINE_SIZE, sequential=True)
-        return recovered
-
-    # ==================================================================
-    # Internal machinery
-    # ==================================================================
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
     def _pool_get(self, tier: Tier, page_id: PageId) -> TierPageDescriptor | None:
         node = self.chain.get(tier)
         return node.pool.get(page_id) if node is not None else None
-
-    # ------------------------------------------------------------------
-    # Serving accesses on top-tier copies (handles fine-grained layouts)
-    # ------------------------------------------------------------------
-    def _serve_resident_access(self, node: TierNode, shared: SharedPageDescriptor,
-                               descriptor: TierPageDescriptor, offset: int,
-                               nbytes: int, is_write: bool) -> None:
-        costs = self.hierarchy.cpu_costs
-        content = descriptor.content
-        if isinstance(content, MiniPage):
-            self._cpu(costs.minipage_slot_ns)
-            lines = self._lines_for(offset, nbytes)
-            try:
-                missing = content.ensure_lines(lines)
-            except MiniPageOverflow:
-                descriptor = self._promote_mini_page(shared, descriptor)
-                content = descriptor.content
-                self._serve_cacheline_access(content, offset, nbytes, is_write)
-                descriptor.dirty = descriptor.dirty or is_write
-                self._finish_resident_access(node, descriptor, nbytes, is_write)
-                return
-            if missing:
-                self._charge_fine_grained_load(missing * CACHE_LINE_SIZE)
-            if is_write:
-                for line in lines:
-                    content.mark_dirty(line)
-                descriptor.mark_dirty()
-        elif isinstance(content, CacheLinePage):
-            self._serve_cacheline_access(content, offset, nbytes, is_write)
-            if is_write:
-                descriptor.mark_dirty()
-        else:
-            if is_write:
-                descriptor.mark_dirty()
-        self._finish_resident_access(node, descriptor, nbytes, is_write)
-
-    def _finish_resident_access(self, node: TierNode,
-                                descriptor: TierPageDescriptor,
-                                nbytes: int, is_write: bool) -> None:
-        device = node.device
-        if is_write:
-            _device_write(device, descriptor.page_id, nbytes)
-        else:
-            _device_read(device, descriptor.page_id, nbytes)
-
-    def _serve_cacheline_access(self, content: CacheLinePage, offset: int,
-                                nbytes: int, is_write: bool) -> None:
-        costs = self.hierarchy.cpu_costs
-        self._cpu(costs.cacheline_bookkeeping_ns)
-        first_line = min(offset // CACHE_LINE_SIZE, content.num_lines - 1)
-        nlines = max(1, (offset + nbytes - 1) // CACHE_LINE_SIZE - first_line + 1)
-        # Accesses that would run off the page end (e.g. a tuple read at
-        # a non-zero intra-tuple offset) are clamped to the page.
-        nlines = min(nlines, content.num_lines - first_line)
-        missing = content.missing_lines(first_line, nlines)
-        if missing:
-            unit_lines = self.config.loading_unit.lines_per_unit
-            # Loads round the range out to whole loading units.
-            unit_first = (first_line // unit_lines) * unit_lines
-            unit_last = min(
-                content.num_lines,
-                ((first_line + nlines + unit_lines - 1) // unit_lines) * unit_lines,
-            )
-            newly = content.load_lines(unit_first, unit_last - unit_first)
-            if newly:
-                self._charge_fine_grained_load(newly * CACHE_LINE_SIZE)
-        if is_write:
-            content.mark_dirty(first_line, nlines)
-
-    def _charge_fine_grained_load(self, useful_bytes: int) -> None:
-        """Charge an NVM read for a fine-grained load, with amplification.
-
-        The loading-unit transfers of one load are issued back to back,
-        so the device latency is paid once per load operation while the
-        media amplification (each unit rounded up to the 256 B media
-        block) is paid in full — that asymmetry is exactly what makes
-        64 B loading units lose on Optane (Fig. 11).
-        """
-        unit = self.config.loading_unit
-        media_bytes = unit.media_bytes(useful_bytes)
-        device = self._device(Tier.NVM)
-        units = unit.units_for_bytes(useful_bytes)
-        spec = device.spec
-        transfer = media_bytes / spec.rand_read_bw * 1e9
-        device.cost.charge(device.resource_key, transfer, media_bytes)
-        self._cpu(spec.rand_read_latency_ns)
-        if isinstance(device, Device):
-            device.counters.read_ops += units
-            device.counters.read_bytes += useful_bytes
-            device.counters.media_read_bytes += media_bytes
-        # The loaded lines land in the DRAM copy via a CPU copy.
-        self._device(Tier.DRAM).write(useful_bytes)
-        self._cpu(self.hierarchy.cpu_costs.copy_ns(useful_bytes))
-        self._emit(EventType.FINE_GRAINED_LOAD, -1, tier=Tier.NVM)
-
-    def _lines_for(self, offset: int, nbytes: int) -> list[int]:
-        max_line = self.hierarchy.page_size // CACHE_LINE_SIZE - 1
-        first = min(offset // CACHE_LINE_SIZE, max_line)
-        last = min((offset + max(1, nbytes) - 1) // CACHE_LINE_SIZE, max_line)
-        return list(range(first, last + 1))
-
-    # ------------------------------------------------------------------
-    # Fine-grained layout transitions
-    # ------------------------------------------------------------------
-    def _promote_mini_page(self, shared: SharedPageDescriptor,
-                           descriptor: TierPageDescriptor) -> TierPageDescriptor:
-        """Transparently promote an overflowing mini page (§2.1)."""
-        pool = self.pools[Tier.DRAM]
-        mini: MiniPage = descriptor.content  # type: ignore[assignment]
-        promoted = CacheLinePage(mini.nvm_page, self.hierarchy.page_size)
-        resident = mini.resident_lines()
-        for line in resident:
-            promoted.load_lines(line, 1)
-        for line in mini.writeback_lines():
-            promoted.mark_dirty(line, 1)
-        was_dirty = descriptor.dirty
-        # A promotion grows the entry from ~1 KB to a full frame; make room.
-        extra = self.hierarchy.page_size - MINI_PAGE_BYTES
-        self._ensure_space(Tier.DRAM, extra, protect=descriptor.page_id)
-        pool.resize_entry(descriptor, self.hierarchy.page_size)
-        descriptor.content = promoted
-        descriptor.dirty = was_dirty
-        self._emit(EventType.MINI_PAGE_PROMOTION, descriptor.page_id,
-                   tier=Tier.DRAM)
-        self._cpu(self.hierarchy.cpu_costs.migration_ns)
-        return descriptor
-
-    def _promote_to_full_residency(self, descriptor: TierPageDescriptor) -> Page:
-        """Materialise a fully resident plain page from a partial layout.
-
-        Needed when the NVM backing page goes away (NVM eviction) or when
-        the partial DRAM copy itself is evicted dirty without an NVM
-        admission: remaining lines are loaded from NVM first.
-        """
-        content = descriptor.content
-        if isinstance(content, MiniPage):
-            missing_bytes = (
-                self.hierarchy.page_size - content.count * CACHE_LINE_SIZE
-            )
-            backing = content.nvm_page
-        elif isinstance(content, CacheLinePage):
-            missing_bytes = self.hierarchy.page_size - content.resident_bytes()
-            backing = content.nvm_page
-        else:
-            return content
-        if missing_bytes > 0:
-            self._charge_fine_grained_load(missing_bytes)
-        full = backing.clone()
-        if descriptor.tier is Tier.DRAM and isinstance(content, MiniPage):
-            self.pools[Tier.DRAM].resize_entry(descriptor, self.hierarchy.page_size)
-        descriptor.content = full
-        return full
-
-    # ------------------------------------------------------------------
-    # SSD miss path
-    # ------------------------------------------------------------------
-    def _fetch_from_ssd(self, shared: SharedPageDescriptor, page_id: PageId,
-                        offset: int, nbytes: int, is_write: bool) -> Tier:
-        """Bottom-up fetch admission over the chain (§3.3).
-
-        Each non-top node draws its fetch-admission knob, slowest first;
-        the first admit wins.  The top node is the unconditional fallback
-        — a fetch must land somewhere.  After the install, promotion
-        draws may carry the page further up (§3.4's path ③+①).
-        """
-        self._emit(EventType.MISS, page_id, tier=Tier.SSD)
-        policy = self._policy
-        durable = self.store.read_page(page_id)  # charges the SSD read
-
-        landed: TierNode | None = None
-        for node in reversed(self.chain.nodes):
-            if node.index == 0:
-                landed = node
-                break
-            edge = Edge(Tier.SSD, node.tier)
-            if self.engine.decide(edge, MigrationOp.FETCH_ADMIT, page_id, policy):
-                landed = node
-                break
-        if landed is None:
-            # Degenerate bufferless configuration: operate straight on SSD.
-            if is_write:
-                self.store.write_page(durable)
-            return Tier.SSD
-
-        descriptor = self._install(landed, shared, durable.clone())
-        promote_op = (
-            MigrationOp.PROMOTE_WRITE if is_write else MigrationOp.PROMOTE_READ
-        )
-        landed, descriptor = self._climb(
-            shared, landed, descriptor, promote_op, offset, nbytes, policy
-        )
-        return self._serve(landed, shared, descriptor, offset, nbytes,
-                           is_write, hit=False).served_tier
-
-    def _install(self, node: TierNode, shared: SharedPageDescriptor,
-                 content: Page) -> TierPageDescriptor:
-        """Place a full page copy into a node's pool, evicting as needed."""
-        with shared.latched(node.tier):
-            existing = shared.copy_on(node.tier)
-            if existing is not None:
-                # A concurrent miss on the same page installed it first;
-                # this fetch still counts as an install toward the tier.
-                self._emit(EventType.INSTALL, content.page_id, tier=node.tier,
-                           src=Tier.SSD)
-                return existing
-            descriptor = self._insert_with_space(
-                node.tier, content, self.hierarchy.page_size,
-                protect=content.page_id,
-            )
-            shared.attach(descriptor)
-        # Page installs land at random frame locations: NVM pays its
-        # random-write bandwidth (6 GB/s on Optane), DRAM does not care.
-        _device_write(node.device, content.page_id, self.hierarchy.page_size,
-                      sequential=node.install_sequential)
-        if node.persistent:
-            node.device.persist_barrier()
-        self._emit(EventType.INSTALL, content.page_id, tier=node.tier,
-                   src=Tier.SSD)
-        return descriptor
-
-    # ------------------------------------------------------------------
-    # Upward migration (§3.1, §5.2)
-    # ------------------------------------------------------------------
-    def _migrate_up(self, shared: SharedPageDescriptor,
-                    lower_desc: TierPageDescriptor, lower: TierNode,
-                    upper: TierNode, offset: int,
-                    nbytes: int) -> TierPageDescriptor:
-        costs = self.hierarchy.cpu_costs
-        existing = upper.pool.get(shared.page_id)
-        if existing is not None:
-            return existing
-        with shared.latched(upper.tier, lower.tier):
-            # §5.2: wait for readers of the lower copy so the upper copy
-            # cannot miss concurrent modifications.
-            shared.wait_for_unpinned(lower.tier)
-            existing = shared.copy_on(upper.tier)
-            if existing is not None:
-                return existing
-            self._cpu(costs.migration_ns)
-            lower_content = lower_desc.content
-            if not isinstance(lower_content, Page):  # pragma: no cover - defensive
-                raise RuntimeError("lower-tier frames always hold full pages")
-            if self.config.fine_grained:
-                descriptor = self._install_fine_grained(shared, lower_content,
-                                                        offset, nbytes)
-            else:
-                _device_read(lower.device, shared.page_id,
-                             self.hierarchy.page_size)
-                self._cpu(costs.copy_ns(self.hierarchy.page_size))
-                descriptor = self._insert_with_space(
-                    upper.tier, lower_content.clone(), self.hierarchy.page_size,
-                    protect=shared.page_id,
-                )
-                shared.attach(descriptor)
-                _device_write(upper.device, shared.page_id,
-                              self.hierarchy.page_size, sequential=True)
-            self._emit(EventType.MIGRATE_UP, shared.page_id, tier=upper.tier,
-                       src=lower.tier)
-            return descriptor
-
-    def _install_fine_grained(self, shared: SharedPageDescriptor,
-                              nvm_content: Page, offset: int,
-                              nbytes: int) -> TierPageDescriptor:
-        """Create a cache-line-grained (or mini) DRAM view of an NVM page."""
-        lines = self._lines_for(offset, nbytes)
-        use_mini = self.config.mini_pages and len(lines) <= MINI_PAGE_SLOTS
-        if use_mini:
-            content: CacheLinePage | MiniPage = MiniPage(nvm_content)
-            entry_bytes = MINI_PAGE_BYTES
-            loaded = content.ensure_lines(lines)
-        else:
-            content = CacheLinePage(nvm_content, self.hierarchy.page_size)
-            entry_bytes = self.hierarchy.page_size
-            loaded = 0
-            unit_lines = self.config.loading_unit.lines_per_unit
-            first = (lines[0] // unit_lines) * unit_lines
-            last = min(
-                content.num_lines,
-                ((lines[-1] + unit_lines) // unit_lines) * unit_lines,
-            )
-            loaded = content.load_lines(first, last - first)
-        if loaded:
-            self._charge_fine_grained_load(loaded * CACHE_LINE_SIZE)
-        descriptor = self._insert_with_space(Tier.DRAM, content, entry_bytes,
-                                             protect=shared.page_id)
-        shared.attach(descriptor)
-        return descriptor
-
-    # ------------------------------------------------------------------
-    # Eviction
-    # ------------------------------------------------------------------
-    def _ensure_space(self, tier: Tier, incoming_bytes: int,
-                      protect: PageId | None = None) -> None:
-        node = self.chain.node(tier)
-        pool = node.pool
-        guard = 2 * pool.max_entries + 4
-        misses = 0
-        while pool.needs_space(incoming_bytes):
-            guard -= 1
-            if guard < 0:  # pragma: no cover - defensive
-                raise BufferFullError(
-                    f"unable to reclaim {incoming_bytes} B on {tier.name}"
-                )
-            victim = pool.pick_victim()
-            if victim is None:
-                # Every frame is pinned or claimed by a concurrent
-                # evictor; retry briefly before giving up.
-                misses += 1
-                if misses > 8:
-                    raise BufferFullError(
-                        f"all {tier.name} frames are pinned; cannot evict"
-                    )
-                continue
-            misses = 0
-            if protect is not None and victim.page_id == protect:
-                pool.replacer.record_access(victim.frame_index)
-                pool.unclaim(victim)
-                continue
-            self._evict_from_node(node, victim)
-
-    def _insert_with_space(self, tier: Tier, content, entry_bytes: int,
-                           protect: PageId | None = None) -> TierPageDescriptor:
-        """Reserve space and insert, retrying lost races for free frames."""
-        pool = self.pools[tier]
-        for _ in range(64):
-            self._ensure_space(tier, entry_bytes, protect=protect)
-            try:
-                return pool.insert(content, entry_bytes)
-            except BufferFullError:
-                continue
-        raise BufferFullError(  # pragma: no cover - defensive
-            f"could not secure a {tier.name} frame for page {content.page_id}"
-        )
-
-    def _evict_from_node(self, node: TierNode,
-                         descriptor: TierPageDescriptor) -> None:
-        """Apply the eviction half of the migration policy (§3.4).
-
-        Dirty victims draw the eviction-admission knob of the edge into
-        the next-lower buffer node (when one exists) and are written back
-        to the store otherwise.  Clean victims are considered for
-        admission only when no lower copy exists — the lower buffer acts
-        as a victim cache — and are dropped otherwise (§3.3: the SSD copy
-        is still valid).
-        """
-        costs = self.hierarchy.cpu_costs
-        self._cpu(costs.eviction_ns)
-        page_id = descriptor.page_id
-        shared = self.table.get(page_id)
-        if shared is None:  # pragma: no cover - defensive
-            node.pool.remove(descriptor)
-            return
-        self._emit(EventType.EVICT, page_id, tier=node.tier,
-                   dirty=descriptor.dirty)
-        content = descriptor.content
-
-        if node.tier is Tier.NVM:
-            # A partial DRAM copy backed by this NVM page must become
-            # self-contained before the backing disappears.
-            dram_desc = shared.copy_on(Tier.DRAM)
-            if dram_desc is not None and isinstance(
-                dram_desc.content, (CacheLinePage, MiniPage)
-            ):
-                with shared.latched(Tier.DRAM, Tier.NVM):
-                    self._writeback_lines_to_nvm(shared, dram_desc)
-                    self._promote_to_full_residency(dram_desc)
-
-        if isinstance(content, (CacheLinePage, MiniPage)):
-            if shared.copy_on(Tier.NVM) is not None:
-                # Partial layout over a live NVM page: write dirty lines back.
-                with shared.latched(node.tier, Tier.NVM):
-                    self._writeback_lines_to_nvm(shared, descriptor)
-                    node.pool.remove(descriptor)
-                    shared.detach(node.tier)
-                self._gc_descriptor(shared)
-                return
-            content = self._promote_to_full_residency(descriptor)
-
-        lower = self.chain.lower_of(node)
-        if descriptor.dirty:
-            admitted = lower is not None and self.engine.decide(
-                Edge(node.tier, lower.tier), MigrationOp.EVICT_ADMIT, page_id
-            )
-            if admitted:
-                self._admit_eviction_to_lower(shared, descriptor, content,
-                                              node, lower)
-            else:
-                with shared.latched(node.tier, Tier.SSD):
-                    if isinstance(content, Page):
-                        node.device.read(self.hierarchy.page_size,
-                                         sequential=not node.persistent)
-                        self.store.write_page(content)
-                    self._emit(EventType.WRITE_BACK, page_id, tier=Tier.SSD,
-                               src=node.tier, dirty=True)
-                    node.pool.remove(descriptor)
-                    shared.detach(node.tier)
-        else:
-            # Clean pages need no write-back (the SSD copy is valid,
-            # §3.3), but they are still *considered* for admission below:
-            # the lower buffer acts as a victim cache for the tier above,
-            # which is the only way it fills on read-mostly workloads
-            # (Table 2 shows substantial NVM occupancy on YCSB-RO at
-            # every N).
-            admitted = (
-                lower is not None
-                and shared.copy_on(lower.tier) is None
-                and self.engine.decide(
-                    Edge(node.tier, lower.tier), MigrationOp.EVICT_ADMIT, page_id
-                )
-            )
-            if admitted:
-                self._admit_eviction_to_lower(shared, descriptor, content,
-                                              node, lower)
-            else:
-                with shared.latched(node.tier):
-                    self._emit(EventType.CLEAN_DROP, page_id, tier=node.tier)
-                    node.pool.remove(descriptor)
-                    shared.detach(node.tier)
-        self._gc_descriptor(shared)
-
-    def _admit_eviction_to_lower(self, shared: SharedPageDescriptor,
-                                 descriptor: TierPageDescriptor, content: Page,
-                                 node: TierNode, lower: TierNode) -> None:
-        """Move an eviction one edge down the chain (path ⑤ of Fig. 3)."""
-        page_id = content.page_id
-        with shared.latched(node.tier, lower.tier):
-            lower_desc = shared.copy_on(lower.tier)
-            node.device.read(self.hierarchy.page_size, sequential=True)
-            self._cpu(self.hierarchy.cpu_costs.copy_ns(self.hierarchy.page_size))
-            if lower_desc is not None:
-                lower_desc.content.copy_from(content)
-                _device_write(lower.device, page_id, self.hierarchy.page_size)
-                if lower.persistent:
-                    lower.device.persist_barrier()
-                if descriptor.dirty:
-                    lower_desc.mark_dirty()
-            else:
-                node.pool.remove(descriptor)
-                shared.detach(node.tier)
-                lower_desc = self._insert_with_space(
-                    lower.tier, content.clone(), self.hierarchy.page_size,
-                    protect=page_id,
-                )
-                shared.attach(lower_desc)
-                _device_write(lower.device, page_id, self.hierarchy.page_size)
-                if lower.persistent:
-                    lower.device.persist_barrier()
-                if descriptor.dirty:
-                    lower_desc.mark_dirty()
-                self._emit(EventType.MIGRATE_DOWN, page_id, tier=lower.tier,
-                           src=node.tier, dirty=descriptor.dirty)
-                return
-            # The lower copy already existed: just drop the upper frame.
-            node.pool.remove(descriptor)
-            shared.detach(node.tier)
-            self._emit(EventType.MIGRATE_DOWN, page_id, tier=lower.tier,
-                       src=node.tier, dirty=descriptor.dirty)
-
-    def _writeback_lines_to_nvm(self, shared: SharedPageDescriptor,
-                                descriptor: TierPageDescriptor) -> None:
-        """Flush a partial layout's dirty lines into its NVM backing page."""
-        content = descriptor.content
-        if isinstance(content, MiniPage):
-            dirty_lines = len(content.writeback_lines())
-        elif isinstance(content, CacheLinePage):
-            dirty_lines = content.writeback_lines()
-        else:
-            return
-        if dirty_lines:
-            nvm_device = self._device(Tier.NVM)
-            nbytes = dirty_lines * CACHE_LINE_SIZE
-            _device_write(nvm_device, descriptor.page_id, nbytes)
-            nvm_device.persist_barrier()
-            nvm_desc = shared.copy_on(Tier.NVM)
-            if nvm_desc is not None:
-                nvm_desc.mark_dirty()
-        descriptor.clear_dirty()
-
-    def _gc_descriptor(self, shared: SharedPageDescriptor) -> None:
-        """Mapping entries are deliberately *not* garbage collected.
-
-        Removing an entry while another thread still holds the shared
-        descriptor would let ``get_or_create`` mint a second descriptor
-        for the same page, and the per-page latches would no longer
-        serialise migrations.  The table is bounded by the number of
-        pages ever touched (the database size), so retention is cheap;
-        ``simulate_crash``/``recover_mapping_table`` still rebuild it.
-        """

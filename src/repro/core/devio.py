@@ -1,0 +1,37 @@
+"""Device I/O dispatch shared by every core component.
+
+Simulated devices come in two flavours: the plain
+:class:`~repro.hardware.device.Device` (charges bandwidth/latency for a
+transfer of ``nbytes``) and the
+:class:`~repro.hardware.memory_mode.MemoryModeDevice` (§2.2's
+DRAM-cache-over-NVM, which additionally needs the *page identity* to
+model its direct-mapped cache).  The access path, space manager, and
+flush engine all perform device transfers, so the dispatch lives here
+once instead of as free functions inside each component.
+"""
+
+from __future__ import annotations
+
+from ..hardware.device import Device
+from ..hardware.memory_mode import MemoryModeDevice
+from ..pages.page import PageId
+
+__all__ = ["device_read", "device_write"]
+
+
+def device_read(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
+                sequential: bool = False) -> None:
+    """Read dispatch that lets memory-mode devices see page identity."""
+    if isinstance(device, MemoryModeDevice):
+        device.read_page(page_id, nbytes, sequential)
+    else:
+        device.read(nbytes, sequential)
+
+
+def device_write(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
+                 sequential: bool = False) -> None:
+    """Write dispatch that lets memory-mode devices see page identity."""
+    if isinstance(device, MemoryModeDevice):
+        device.write_page(page_id, nbytes, sequential)
+    else:
+        device.write(nbytes, sequential)

@@ -63,16 +63,17 @@ class MigrationEngine:
 
     The policy itself stays swappable at runtime (the adaptive tuner
     replaces it between epochs), so ``decide`` re-reads it from the
-    owning buffer manager unless the caller passes the snapshot it took
-    at the start of the operation — the chain walk does, preserving the
-    invariant that one logical operation sees one policy.
+    shared :class:`~repro.core.policy.PolicySlot` unless the caller
+    passes the snapshot it took at the start of the operation — the
+    chain walk does, preserving the invariant that one logical
+    operation sees one policy.
     """
 
-    __slots__ = ("_owner", "rng", "admission_queue")
+    __slots__ = ("_policy_slot", "rng", "admission_queue")
 
-    def __init__(self, owner, rng: random.Random,
+    def __init__(self, policy_slot, rng: random.Random,
                  admission_queue: AdmissionQueue | None = None) -> None:
-        self._owner = owner
+        self._policy_slot = policy_slot
         self.rng = rng
         self.admission_queue = admission_queue
 
@@ -87,7 +88,7 @@ class MigrationEngine:
         must ask exactly once per actual decision point.
         """
         if policy is None:
-            policy = self._owner.policy
+            policy = self._policy_slot.policy
         if op is MigrationOp.PROMOTE_READ:
             return policy.promote_to_dram_on_read(self.rng)
         if op is MigrationOp.PROMOTE_WRITE:

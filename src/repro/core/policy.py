@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 import random
+import threading
 from dataclasses import dataclass, replace
 
 
@@ -97,6 +98,35 @@ class MigrationPolicy:
         if self.name:
             return self.name
         return f"<{self.d_r}, {self.d_w}, {self.n_r}, {self.n_w}>"
+
+
+class PolicySlot:
+    """A swappable reference to the currently active migration policy.
+
+    The buffer manager's components (access path, space manager, flush
+    engine) and the :class:`~repro.core.migration.MigrationEngine` all
+    read the policy from one shared slot instead of reaching back into
+    the facade, so each is constructible on its own in tests.  The
+    adaptive tuner swaps policies at runtime: :meth:`set` replaces the
+    whole (immutable) policy object under a lock, and hot paths read
+    :attr:`current` with a plain attribute load — an atomic reference
+    read, so taking the lock there would add cost without adding safety.
+    """
+
+    __slots__ = ("current", "_lock")
+
+    def __init__(self, policy: MigrationPolicy) -> None:
+        self.current = policy
+        self._lock = threading.Lock()
+
+    @property
+    def policy(self) -> MigrationPolicy:
+        with self._lock:
+            return self.current
+
+    def set(self, policy: MigrationPolicy) -> None:
+        with self._lock:
+            self.current = policy
 
 
 def _draw(rng: random.Random, probability: float) -> bool:

@@ -1,0 +1,252 @@
+"""Victim selection, eviction, and space reclamation (§3.4, §5).
+
+The space manager owns the *downward* half of page motion: finding a
+frame for an incoming copy (:meth:`SpaceManager.ensure_space` /
+:meth:`SpaceManager.insert_with_space`) and applying the eviction half
+of the migration policy when a pool is full
+(:meth:`SpaceManager.evict_from_node`):
+
+* dirty victims draw the eviction-admission knob (``N_w`` or HyMem's
+  admission queue) of the edge into the next-lower buffer node and are
+  written back to the SSD store otherwise (§3.4, path ⑤ of Fig. 3),
+* clean victims are *considered* for admission only when no lower copy
+  exists — the lower buffer acts as a victim cache, which is the only
+  way it fills on read-mostly workloads (Table 2) — and are dropped
+  otherwise (§3.3: the SSD copy is still valid),
+* evicting an NVM page first forces any partial DRAM layout backed by
+  it to full residency (the self-containment dance), since the backing
+  page is about to disappear.
+
+Collaborators are taken explicitly: the chain, mapping table, migration
+engine, SSD store, event bus, and hierarchy at construction;
+the fine-grained ops (for partial-layout promotion) and the flush
+engine (for dirty-line write-back) via :meth:`bind`, because the three
+components are mutually recursive through the eviction path.
+"""
+
+from __future__ import annotations
+
+from ..hardware.cost_model import StorageHierarchy
+from ..hardware.specs import Tier
+from ..pages.cacheline_page import CacheLinePage
+from ..pages.mini_page import MiniPage
+from ..pages.page import Page, PageId
+from .descriptors import FrameContent, SharedPageDescriptor, TierPageDescriptor
+from .devio import device_write
+from .events import EventBus, EventType
+from .mapping_table import MappingTable
+from .migration import Edge, MigrationEngine, MigrationOp
+from .ssd_store import SsdStore
+from .tier_chain import BufferFullError, TierChain, TierNode
+
+__all__ = ["SpaceManager"]
+
+
+class SpaceManager:
+    """Frame reservation and the eviction/reclamation machinery."""
+
+    def __init__(self, chain: TierChain, table: MappingTable,
+                 hierarchy: StorageHierarchy, engine: MigrationEngine,
+                 store: SsdStore, events: EventBus) -> None:
+        self.chain = chain
+        self.table = table
+        self.hierarchy = hierarchy
+        self.engine = engine
+        self.store = store
+        self._emit = events.publish
+        #: Bound by :meth:`bind`: partial layouts are written back via
+        #: the flush engine and made self-contained via fine-grained ops.
+        self.fine = None
+        self.flush = None
+
+    def bind(self, fine, flush) -> None:
+        self.fine = fine
+        self.flush = flush
+
+    def _cpu(self, service_ns: float) -> None:
+        self.hierarchy.charge_cpu(service_ns)
+
+    # ------------------------------------------------------------------
+    # Space reservation
+    # ------------------------------------------------------------------
+    def ensure_space(self, tier: Tier, incoming_bytes: int,
+                     protect: PageId | None = None) -> None:
+        node = self.chain.node(tier)
+        pool = node.pool
+        guard = 2 * pool.max_entries + 4
+        misses = 0
+        while pool.needs_space(incoming_bytes):
+            guard -= 1
+            if guard < 0:  # pragma: no cover - defensive
+                raise BufferFullError(
+                    f"unable to reclaim {incoming_bytes} B on {tier.name}"
+                )
+            victim = pool.pick_victim()
+            if victim is None:
+                # Every frame is pinned or claimed by a concurrent
+                # evictor; retry briefly before giving up.
+                misses += 1
+                if misses > 8:
+                    raise BufferFullError(
+                        f"all {tier.name} frames are pinned; cannot evict"
+                    )
+                continue
+            misses = 0
+            if protect is not None and victim.page_id == protect:
+                pool.replacer.record_access(victim.frame_index)
+                pool.unclaim(victim)
+                continue
+            self.evict_from_node(node, victim)
+
+    def insert_with_space(self, tier: Tier, content: FrameContent,
+                          entry_bytes: int,
+                          protect: PageId | None = None) -> TierPageDescriptor:
+        """Reserve space and insert, retrying lost races for free frames."""
+        pool = self.chain.node(tier).pool
+        for _ in range(64):
+            self.ensure_space(tier, entry_bytes, protect=protect)
+            try:
+                return pool.insert(content, entry_bytes)
+            except BufferFullError:
+                continue
+        raise BufferFullError(  # pragma: no cover - defensive
+            f"could not secure a {tier.name} frame for page {content.page_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def evict_from_node(self, node: TierNode,
+                        descriptor: TierPageDescriptor) -> None:
+        """Apply the eviction half of the migration policy (§3.4).
+
+        Dirty victims draw the eviction-admission knob of the edge into
+        the next-lower buffer node (when one exists) and are written back
+        to the store otherwise.  Clean victims are considered for
+        admission only when no lower copy exists — the lower buffer acts
+        as a victim cache — and are dropped otherwise (§3.3: the SSD copy
+        is still valid).
+        """
+        costs = self.hierarchy.cpu_costs
+        self._cpu(costs.eviction_ns)
+        page_id = descriptor.page_id
+        shared = self.table.get(page_id)
+        if shared is None:  # pragma: no cover - defensive
+            node.pool.remove(descriptor)
+            return
+        self._emit(EventType.EVICT, page_id, tier=node.tier,
+                   dirty=descriptor.dirty)
+        content = descriptor.content
+
+        if node.tier is Tier.NVM:
+            # A partial DRAM copy backed by this NVM page must become
+            # self-contained before the backing disappears.
+            dram_desc = shared.copy_on(Tier.DRAM)
+            if dram_desc is not None and isinstance(
+                dram_desc.content, (CacheLinePage, MiniPage)
+            ):
+                with shared.latched(Tier.DRAM, Tier.NVM):
+                    self.flush.writeback_lines_to_nvm(shared, dram_desc)
+                    self.fine.promote_to_full_residency(dram_desc)
+
+        if isinstance(content, (CacheLinePage, MiniPage)):
+            if shared.copy_on(Tier.NVM) is not None:
+                # Partial layout over a live NVM page: write dirty lines back.
+                with shared.latched(node.tier, Tier.NVM):
+                    self.flush.writeback_lines_to_nvm(shared, descriptor)
+                    node.pool.remove(descriptor)
+                    shared.detach(node.tier)
+                self.gc_descriptor(shared)
+                return
+            content = self.fine.promote_to_full_residency(descriptor)
+
+        lower = self.chain.lower_of(node)
+        if descriptor.dirty:
+            admitted = lower is not None and self.engine.decide(
+                Edge(node.tier, lower.tier), MigrationOp.EVICT_ADMIT, page_id
+            )
+            if admitted:
+                self.admit_eviction_to_lower(shared, descriptor, content,
+                                             node, lower)
+            else:
+                with shared.latched(node.tier, Tier.SSD):
+                    if isinstance(content, Page):
+                        node.device.read(self.hierarchy.page_size,
+                                         sequential=not node.persistent)
+                        self.store.write_page(content)
+                    self._emit(EventType.WRITE_BACK, page_id, tier=Tier.SSD,
+                               src=node.tier, dirty=True)
+                    node.pool.remove(descriptor)
+                    shared.detach(node.tier)
+        else:
+            # Clean pages need no write-back (the SSD copy is valid,
+            # §3.3), but they are still *considered* for admission below:
+            # the lower buffer acts as a victim cache for the tier above,
+            # which is the only way it fills on read-mostly workloads
+            # (Table 2 shows substantial NVM occupancy on YCSB-RO at
+            # every N).
+            admitted = (
+                lower is not None
+                and shared.copy_on(lower.tier) is None
+                and self.engine.decide(
+                    Edge(node.tier, lower.tier), MigrationOp.EVICT_ADMIT, page_id
+                )
+            )
+            if admitted:
+                self.admit_eviction_to_lower(shared, descriptor, content,
+                                             node, lower)
+            else:
+                with shared.latched(node.tier):
+                    self._emit(EventType.CLEAN_DROP, page_id, tier=node.tier)
+                    node.pool.remove(descriptor)
+                    shared.detach(node.tier)
+        self.gc_descriptor(shared)
+
+    def admit_eviction_to_lower(self, shared: SharedPageDescriptor,
+                                descriptor: TierPageDescriptor, content: Page,
+                                node: TierNode, lower: TierNode) -> None:
+        """Move an eviction one edge down the chain (path ⑤ of Fig. 3)."""
+        page_id = content.page_id
+        with shared.latched(node.tier, lower.tier):
+            lower_desc = shared.copy_on(lower.tier)
+            node.device.read(self.hierarchy.page_size, sequential=True)
+            self._cpu(self.hierarchy.cpu_costs.copy_ns(self.hierarchy.page_size))
+            if lower_desc is not None:
+                lower_desc.content.copy_from(content)
+                device_write(lower.device, page_id, self.hierarchy.page_size)
+                if lower.persistent:
+                    lower.device.persist_barrier()
+                if descriptor.dirty:
+                    lower_desc.mark_dirty()
+            else:
+                node.pool.remove(descriptor)
+                shared.detach(node.tier)
+                lower_desc = self.insert_with_space(
+                    lower.tier, content.clone(), self.hierarchy.page_size,
+                    protect=page_id,
+                )
+                shared.attach(lower_desc)
+                device_write(lower.device, page_id, self.hierarchy.page_size)
+                if lower.persistent:
+                    lower.device.persist_barrier()
+                if descriptor.dirty:
+                    lower_desc.mark_dirty()
+                self._emit(EventType.MIGRATE_DOWN, page_id, tier=lower.tier,
+                           src=node.tier, dirty=descriptor.dirty)
+                return
+            # The lower copy already existed: just drop the upper frame.
+            node.pool.remove(descriptor)
+            shared.detach(node.tier)
+            self._emit(EventType.MIGRATE_DOWN, page_id, tier=lower.tier,
+                       src=node.tier, dirty=descriptor.dirty)
+
+    def gc_descriptor(self, shared: SharedPageDescriptor) -> None:
+        """Mapping entries are deliberately *not* garbage collected.
+
+        Removing an entry while another thread still holds the shared
+        descriptor would let ``get_or_create`` mint a second descriptor
+        for the same page, and the per-page latches would no longer
+        serialise migrations.  The table is bounded by the number of
+        pages ever touched (the database size), so retention is cheap;
+        ``simulate_crash``/``recover_mapping_table`` still rebuild it.
+        """

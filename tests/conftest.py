@@ -2,13 +2,30 @@
 
 from __future__ import annotations
 
+import random
+from types import SimpleNamespace
+
 import pytest
 
+from repro.core.access_path import AccessPath
 from repro.core.buffer_manager import BufferManager, BufferManagerConfig
-from repro.core.policy import SPITFIRE_EAGER, SPITFIRE_LAZY, MigrationPolicy
+from repro.core.events import EventBus
+from repro.core.fine_grained import FineGrainedOps
+from repro.core.flush_engine import FlushEngine
+from repro.core.mapping_table import MappingTable
+from repro.core.migration import MigrationEngine
+from repro.core.policy import (
+    SPITFIRE_EAGER,
+    SPITFIRE_LAZY,
+    MigrationPolicy,
+    PolicySlot,
+)
+from repro.core.space_manager import SpaceManager
+from repro.core.ssd_store import SsdStore
+from repro.core.tier_chain import TierChain
 from repro.hardware.cost_model import StorageHierarchy
 from repro.hardware.pricing import HierarchyShape
-from repro.hardware.specs import SimulationScale
+from repro.hardware.specs import SimulationScale, Tier
 
 #: A tiny scale so pools hold single-digit page counts.
 TINY_SCALE = SimulationScale(pages_per_gb=4)
@@ -45,3 +62,44 @@ def make_bm(
         SimulationScale(pages_per_gb=pages_per_gb),
     )
     return BufferManager(hierarchy, policy, config)
+
+
+def make_core(
+    dram_gb: float = 2.0,
+    nvm_gb: float = 4.0,
+    policy: MigrationPolicy = SPITFIRE_EAGER,
+    config: BufferManagerConfig | None = None,
+    pages_per_gb: int = 4,
+    seed: int = 42,
+) -> SimpleNamespace:
+    """Wire the four-component core by hand, without the facade.
+
+    Exercises the contract that every core component is independently
+    constructible from explicit collaborators (chain, table, store,
+    engine, bus) — no :class:`BufferManager` involved.
+    """
+    config = config or BufferManagerConfig(seed=seed)
+    hierarchy = StorageHierarchy(
+        HierarchyShape(dram_gb=dram_gb, nvm_gb=nvm_gb, ssd_gb=100.0),
+        SimulationScale(pages_per_gb=pages_per_gb),
+    )
+    chain = TierChain.build(hierarchy, config.replacement)
+    table = MappingTable(config.mapping_shards)
+    store = SsdStore(hierarchy.device(Tier.SSD), hierarchy.page_size)
+    events = EventBus()
+    slot = PolicySlot(policy)
+    engine = MigrationEngine(slot, random.Random(config.seed))
+    fine = FineGrainedOps(chain, hierarchy, events, config)
+    space = SpaceManager(chain, table, hierarchy, engine, store, events)
+    flush = FlushEngine(chain, table, hierarchy, engine, store, events)
+    access = AccessPath(chain, table, hierarchy, engine, store, events,
+                        slot, config)
+    fine.bind(space)
+    space.bind(fine, flush)
+    flush.bind(space)
+    access.bind(space, fine)
+    return SimpleNamespace(
+        hierarchy=hierarchy, chain=chain, table=table, store=store,
+        events=events, slot=slot, engine=engine, fine=fine, space=space,
+        flush=flush, access=access,
+    )
