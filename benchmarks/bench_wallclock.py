@@ -13,6 +13,14 @@ Two measurements, written to ``BENCH_repro.json`` next to this script
   per-operation overhead of the tier chain + event bus + cost model
   with every cache effect warmed away; hot-path regressions show up
   here first.
+* **metrics overhead** — the same cell once without observability (the
+  detached baseline) and once with a
+  :class:`~repro.obs.hub.MetricsHub` attached.  The perf-smoke guard
+  asserts the attached run stays within ``--overhead-budget`` (default
+  10%) of the detached baseline, and — structurally, not by timing —
+  that detaching the hub leaves the bus exactly as it was: same
+  subscriber count, allocation-free fast path intact, i.e. a fully
+  detached bus has zero added cost.
 
 Both use fixed seeds, so reruns on one machine are comparable; numbers
 across machines are not (and the simulated throughputs inside the cell
@@ -22,6 +30,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py
     PYTHONPATH=src python benchmarks/bench_wallclock.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --metrics-out out/
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import argparse
 import json
 import platform
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.bench.executor import QUICK, Cell, run_cell, run_cells
@@ -38,6 +48,13 @@ from repro.core.policy import SPITFIRE_LAZY
 from repro.hardware.cost_model import StorageHierarchy
 from repro.hardware.pricing import HierarchyShape
 from repro.hardware.specs import Tier
+from repro.obs.export import (
+    merge_snapshots,
+    snapshot_jsonl_lines,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.hub import MetricsHub
 
 #: The fig6 experiment's hierarchy and database size (§6.3 sweep).
 SHAPE = HierarchyShape(dram_gb=12.5, nvm_gb=50.0, ssd_gb=200.0)
@@ -62,7 +79,74 @@ def time_cell_serial() -> dict:
         "label": cell.label,
         "wall_seconds": round(elapsed, 3),
         "simulated_throughput_ops_per_s": res.throughput,
+        # The saturation model's raw inputs: per-resource busy time,
+        # operation counts, and bytes moved over the measured window.
+        "resource_usage": res.resource_usage,
     }
+
+
+def time_cell_metrics(overhead_budget: float,
+                      metrics_out: str | None) -> tuple[dict, list[str]]:
+    """Detached-vs-attached cell timing plus the structural bus checks.
+
+    Returns the report fragment and a list of guard violations (empty
+    when the perf-smoke assertions hold).
+    """
+    violations: list[str] = []
+
+    # Structural zero-cost check first — exact, no timing noise: after a
+    # MetricsHub attach/detach cycle the bus must be indistinguishable
+    # from one that never saw observability.
+    hierarchy = StorageHierarchy(SHAPE)
+    bm = BufferManager(hierarchy, SPITFIRE_LAZY, BufferManagerConfig(seed=42))
+    baseline_subscribers = bm.events.num_subscribers
+    baseline_fast = bm.events.fast_path_active
+    hub = MetricsHub().attach(bm)
+    if not bm.events.fast_path_active:
+        violations.append("attached MetricsHub knocked the bus off its "
+                          "allocation-free fast path")
+    hub.detach()
+    if bm.events.num_subscribers != baseline_subscribers:
+        violations.append(
+            f"detached bus kept {bm.events.num_subscribers} subscribers "
+            f"(baseline {baseline_subscribers}) — subscription leak"
+        )
+    if bm.events.fast_path_active != baseline_fast:
+        violations.append("detach did not restore the bus fast path")
+
+    # Wall-clock overhead: same fixed-seed cell, metrics off then on.
+    detached_cell = bench_cell()
+    attached_cell = replace(detached_cell, collect_metrics=True)
+    t0 = time.perf_counter()
+    run_cell(detached_cell)
+    detached = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    attached_res = run_cell(attached_cell)
+    attached = time.perf_counter() - t0
+    overhead = attached / detached - 1.0
+    if overhead > overhead_budget:
+        violations.append(
+            f"MetricsHub overhead {overhead:+.1%} exceeds the "
+            f"{overhead_budget:.0%} budget "
+            f"(detached {detached:.3f}s, attached {attached:.3f}s)"
+        )
+
+    if metrics_out:
+        out = Path(metrics_out)
+        registry = merge_snapshots([attached_res.metrics])
+        write_prometheus(out / "metrics.prom", registry)
+        write_jsonl(out / "metrics.jsonl",
+                    snapshot_jsonl_lines(attached_res.metrics,
+                                         attached_cell.label))
+
+    return {
+        "detached_wall_seconds": round(detached, 3),
+        "attached_wall_seconds": round(attached, 3),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": overhead_budget,
+        "detach_restores_bus": bm.events.num_subscribers == baseline_subscribers
+        and bm.events.fast_path_active == baseline_fast,
+    }, violations
 
 
 def time_cells_parallel(jobs: int, cells: int) -> dict:
@@ -113,14 +197,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", metavar="PATH",
                         default=str(Path(__file__).parent / "BENCH_repro.json"),
                         help="where to write the JSON report")
+    parser.add_argument("--overhead-budget", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="max fractional wall-clock overhead of an "
+                             "attached MetricsHub (default: 0.10)")
+    parser.add_argument("--metrics-out", metavar="DIR",
+                        help="also write the attached cell's metrics as "
+                             "Prometheus text + JSONL under DIR")
     args = parser.parse_args(argv)
 
+    metrics_report, violations = time_cell_metrics(
+        args.overhead_budget, args.metrics_out
+    )
     report = {
         "benchmark": "bench_wallclock",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "inner_loop": time_inner_loop(args.repeats),
         "cell": time_cell_serial(),
+        "cell_with_metrics": metrics_report,
     }
     if args.jobs > 1:
         report["parallel"] = time_cells_parallel(args.jobs, args.jobs)
@@ -129,7 +224,9 @@ def main(argv: list[str] | None = None) -> int:
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(json.dumps(report, indent=2, sort_keys=True))
     print(f"\nwrote {out}")
-    return 0
+    for violation in violations:
+        print(f"PERF GUARD FAILED: {violation}")
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":

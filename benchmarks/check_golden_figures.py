@@ -9,20 +9,27 @@ does (``ExperimentResult.save_json``), and compares the bytes against
 the archived JSON.  CI runs it on every push, so bit-identity is a
 pipeline property rather than a by-hand claim.
 
+``--with-metrics`` regenerates with a
+:class:`~repro.obs.hub.MetricsHub` attached to every executor cell:
+the figure JSON must still match byte-for-byte, proving observability
+is side-effect-free on the measured system.
+
 Usage::
 
     python benchmarks/check_golden_figures.py            # fig6 + fig7
-    python benchmarks/check_golden_figures.py fig6 --jobs 4
+    python benchmarks/check_golden_figures.py fig6 --jobs 4 --with-metrics
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import tempfile
 import time
 from pathlib import Path
 
+from repro.bench.executor import metrics_collection
 from repro.bench.experiments import REGISTRY
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -33,21 +40,24 @@ RESULTS_DIR = Path(__file__).parent / "results"
 DEFAULT_EXPERIMENTS = ("fig6", "fig7")
 
 
-def check(experiment_id: str, jobs: int) -> bool:
+def check(experiment_id: str, jobs: int, with_metrics: bool = False) -> bool:
     golden = RESULTS_DIR / f"{experiment_id}.json"
     if not golden.exists():
         print(f"FAIL {experiment_id}: no archived result at {golden}")
         return False
     started = time.time()
-    result = REGISTRY[experiment_id](quick=True, jobs=jobs)
+    scope = metrics_collection() if with_metrics else contextlib.nullcontext([])
+    with scope as sink:
+        result = REGISTRY[experiment_id](quick=True, jobs=jobs)
     with tempfile.TemporaryDirectory() as tmp:
         fresh = result.save_json(tmp)
         fresh_bytes = fresh.read_bytes()
     golden_bytes = golden.read_bytes()
     elapsed = time.time() - started
+    mode = f", metrics attached to {len(sink)} cells" if with_metrics else ""
     if fresh_bytes == golden_bytes:
         print(f"OK   {experiment_id}: byte-identical to {golden} "
-              f"({len(golden_bytes)} bytes, {elapsed:.1f}s)")
+              f"({len(golden_bytes)} bytes, {elapsed:.1f}s{mode})")
         return True
     print(f"FAIL {experiment_id}: output differs from {golden} "
           f"({elapsed:.1f}s)")
@@ -80,12 +90,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes per experiment (results are "
                              "identical at any job count)")
+    parser.add_argument("--with-metrics", action="store_true",
+                        help="attach a MetricsHub to every cell while "
+                             "regenerating; the JSON must stay byte-identical")
     args = parser.parse_args(argv)
 
     unknown = [e for e in args.experiments if e not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
-    failures = [e for e in args.experiments if not check(e, args.jobs)]
+    failures = [
+        e for e in args.experiments
+        if not check(e, args.jobs, with_metrics=args.with_metrics)
+    ]
     return 1 if failures else 0
 
 

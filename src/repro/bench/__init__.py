@@ -1,6 +1,7 @@
 """Benchmark harness and per-figure experiment reproductions."""
 
 from .event_trace import EventTraceRecorder
+from .executor import metrics_collected, metrics_collection
 from .harness import RunConfig, RunResult, WorkloadRunner
 from .reporting import ExperimentResult, Series
 
@@ -11,4 +12,6 @@ __all__ = [
     "RunResult",
     "Series",
     "WorkloadRunner",
+    "metrics_collected",
+    "metrics_collection",
 ]

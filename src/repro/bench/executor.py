@@ -26,6 +26,8 @@ figure module).
 
 from __future__ import annotations
 
+import contextlib
+import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -111,6 +113,10 @@ class Cell:
     extra_worker_counts: tuple[int, ...] = (16,)
     with_wal: bool = True
     trace_events: bool = False
+    #: Attach a MetricsHub over this cell's measurement window.  Also
+    #: forced on for every cell while :func:`metrics_collection` is
+    #: active (the CLI's ``--metrics-out`` path).
+    collect_metrics: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -158,6 +164,55 @@ class CellExecutionError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
+# Session-wide metrics collection
+# ----------------------------------------------------------------------
+#: Environment flag that turns metrics collection on for every cell.
+#: An env var (not a module global) so it survives into process-pool
+#: workers under both fork and spawn start methods.
+METRICS_ENV = "REPRO_COLLECT_METRICS"
+
+#: While :func:`metrics_collection` is active, ``run_cells`` appends
+#: ``(label, RunResult)`` per finished cell here, in submission order —
+#: the deterministic merge order for the exporters.
+_metrics_sink: list[tuple[str, RunResult]] | None = None
+
+
+def metrics_collected() -> bool:
+    """Whether session-wide metrics collection is currently on."""
+    return os.environ.get(METRICS_ENV) == "1"
+
+
+@contextlib.contextmanager
+def metrics_collection():
+    """Collect a MetricsHub snapshot from every cell run in this scope.
+
+    Yields the sink list; after the scope, it holds one
+    ``(cell label, RunResult)`` pair per executed cell in submission
+    order regardless of the ``jobs`` value, so merging the snapshots in
+    list order gives byte-identical exports at any parallelism.
+    """
+    global _metrics_sink
+    previous_sink = _metrics_sink
+    previous_env = os.environ.get(METRICS_ENV)
+    sink: list[tuple[str, RunResult]] = []
+    _metrics_sink = sink
+    os.environ[METRICS_ENV] = "1"
+    try:
+        yield sink
+    finally:
+        _metrics_sink = previous_sink
+        if previous_env is None:
+            os.environ.pop(METRICS_ENV, None)
+        else:
+            os.environ[METRICS_ENV] = previous_env
+
+
+def _record_result(cell: Cell, result: RunResult) -> None:
+    if _metrics_sink is not None and result.metrics is not None:
+        _metrics_sink.append((cell.label, result))
+
+
+# ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
 def run_cell(cell: Cell) -> RunResult:
@@ -176,6 +231,7 @@ def run_cell(cell: Cell) -> RunResult:
             workers=cell.workers,
             with_wal=cell.with_wal,
             trace_events=cell.trace_events,
+            collect_metrics=cell.collect_metrics or metrics_collected(),
         ),
     )
     spec = cell.workload
@@ -197,9 +253,11 @@ def _run_serial(cells: list[Cell]) -> list[RunResult]:
     results = []
     for cell in cells:
         try:
-            results.append(run_cell(cell))
+            result = run_cell(cell)
         except Exception as exc:
             raise CellExecutionError(cell, exc) from exc
+        _record_result(cell, result)
+        results.append(result)
     return results
 
 
@@ -233,6 +291,11 @@ def run_cells(cells, jobs: int = 1) -> list[RunResult]:
                 raise CellExecutionError(cell, exc) from exc
     finally:
         pool.shutdown(wait=True, cancel_futures=True)
+    # Record only once the whole batch succeeded, in submission order —
+    # the BrokenProcessPool fallback above records via _run_serial, so
+    # recording mid-loop would double-count the completed prefix.
+    for cell, result in zip(cells, results):
+        _record_result(cell, result)
     return results
 
 

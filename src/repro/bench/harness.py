@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from ..core.buffer_manager import BufferManager
 from ..core.stats import BufferStats
 from ..hardware.specs import Tier
+from ..obs.hub import DEFAULT_EPOCH_NS, MetricsHub
+from ..obs.tracer import PageLifecycleTracer
 from .event_trace import EventTraceRecorder
 from ..wal.checkpoint import Checkpointer
 from ..wal.log_manager import LogManager
@@ -53,6 +55,13 @@ class RunConfig:
     #: Record a per-edge event trace over the measurement window
     #: (:class:`~repro.bench.event_trace.EventTraceRecorder`).
     trace_events: bool = False
+    #: Attach a :class:`~repro.obs.hub.MetricsHub` over the measurement
+    #: window; the run result then carries a metrics snapshot.
+    collect_metrics: bool = False
+    #: Sim-time between the hub's occupancy/dirty-ratio gauge samples.
+    metrics_epoch_ns: float = DEFAULT_EPOCH_NS
+    #: Fraction of pages traced by the page-lifecycle tracer (0 = off).
+    trace_page_fraction: float = 0.0
 
 
 @dataclass
@@ -72,6 +81,16 @@ class RunResult:
     throughput_by_workers: dict[int, float] = field(default_factory=dict)
     #: Per-edge event counts (only when ``RunConfig.trace_events``).
     event_trace: dict[str, int] | None = None
+    #: MetricsHub snapshot — registry state plus epoch gauge series
+    #: (only when ``RunConfig.collect_metrics``).
+    metrics: dict | None = None
+    #: Page-lifecycle spans keyed by page id (only when
+    #: ``RunConfig.trace_page_fraction`` > 0).
+    page_traces: dict | None = None
+    #: Per-resource :class:`~repro.hardware.simclock.ResourceUsage` of
+    #: the measurement window (busy_ns / operations / bytes_moved per
+    #: device channel plus CPU) — the saturation model's inputs.
+    resource_usage: dict[str, dict] | None = None
 
     @property
     def throughput_kops(self) -> float:
@@ -237,20 +256,37 @@ class WorkloadRunner:
         # "we warm up the system until the buffer pool is full").
         self.hierarchy.reset_accounting()
         self.bm.reset_stats()
+        # Measurement-window observers are detached in the ``finally``
+        # below even when the workload raises: a leaked subscription
+        # would double-count every later measurement on this bus (and a
+        # slow-path subscriber would silently disable the bus fast path).
         trace = None
-        if config.trace_events:
-            trace = EventTraceRecorder().attach(self.bm)
+        hub = None
+        tracer = None
+        try:
+            if config.trace_events:
+                trace = EventTraceRecorder().attach(self.bm)
+            if config.collect_metrics:
+                hub = MetricsHub(epoch_ns=config.metrics_epoch_ns)
+                hub.attach(self.bm)
+            if config.trace_page_fraction > 0:
+                tracer = PageLifecycleTracer(config.trace_page_fraction)
+                tracer.attach(self.bm)
 
-        sample_every = max(1, config.inclusivity_sample_every)
-        for index in range(config.measure_ops):
-            step()
-            if (index + 1) % sample_every == 0:
+            sample_every = max(1, config.inclusivity_sample_every)
+            for index in range(config.measure_ops):
+                step()
+                if (index + 1) % sample_every == 0:
+                    self.bm.sample_inclusivity()
+            if self.bm.inclusivity.num_samples == 0:
                 self.bm.sample_inclusivity()
-        if self.bm.inclusivity.num_samples == 0:
-            self.bm.sample_inclusivity()
-
-        if trace is not None:
-            trace.detach()
+        finally:
+            if trace is not None:
+                trace.detach()
+            if hub is not None:
+                hub.detach()  # flushes the in-flight op first
+            if tracer is not None:
+                tracer.detach()
         operations = config.measure_ops
         makespan = self.hierarchy.cost.makespan_ns(config.workers)
         throughput = self.hierarchy.throughput(operations, config.workers)
@@ -268,4 +304,10 @@ class WorkloadRunner:
             makespan_ns=makespan,
             throughput_by_workers=by_workers,
             event_trace=trace.report() if trace is not None else None,
+            metrics=hub.snapshot() if hub is not None else None,
+            page_traces=tracer.snapshot() if tracer is not None else None,
+            resource_usage={
+                key: usage.as_dict()
+                for key, usage in self.hierarchy.cost.snapshot().items()
+            },
         )

@@ -7,16 +7,23 @@ Usage::
     repro-experiments --all --full       # everything, full effort
     repro-experiments --all --jobs 8     # fan cells out over 8 processes
     repro-experiments fig14 --out results/
+    repro-experiments fig6 --metrics-out metrics.prom
 
 Each experiment prints a paper-style text table and (with ``--out``)
-writes a JSON result file for archival/plotting.
+writes a JSON result file for archival/plotting.  ``--metrics-out``
+attaches a :class:`~repro.obs.hub.MetricsHub` to every executor cell
+and writes the merged metrics as Prometheus text exposition (plus a
+``.jsonl`` snapshot stream next to it); the figure JSON itself is
+byte-identical with or without metrics attached.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
+from pathlib import Path
 
 from .bench.experiments import REGISTRY
 
@@ -39,6 +46,10 @@ def main(argv: list[str] | None = None) -> int:
                              "results are identical at any job count)")
     parser.add_argument("--out", metavar="DIR",
                         help="directory for JSON result files")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="collect per-cell metrics and write Prometheus "
+                             "text exposition to PATH (and a JSONL snapshot "
+                             "stream to PATH with a .jsonl suffix)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -56,15 +67,53 @@ def main(argv: list[str] | None = None) -> int:
             f"choose from {', '.join(REGISTRY)}"
         )
 
-    for experiment_id in chosen:
-        started = time.time()
-        result = REGISTRY[experiment_id](quick=not args.full, jobs=args.jobs)
-        print(result.render())
-        print(f"   [{experiment_id} took {time.time() - started:.1f}s]\n")
-        if args.out:
-            path = result.save_json(args.out)
-            print(f"   saved {path}")
+    sink = None
+    scope = contextlib.nullcontext()
+    if args.metrics_out:
+        from .bench import executor
+
+        scope = executor.metrics_collection()
+    with scope as sink:
+        for experiment_id in chosen:
+            started = time.time()
+            result = REGISTRY[experiment_id](quick=not args.full, jobs=args.jobs)
+            print(result.render())
+            print(f"   [{experiment_id} took {time.time() - started:.1f}s]\n")
+            if args.out:
+                path = result.save_json(args.out)
+                print(f"   saved {path}")
+    if args.metrics_out:
+        _export_metrics(args.metrics_out, sink)
     return 0
+
+
+def _export_metrics(out_path: str, sink) -> None:
+    """Merge per-cell metrics and write Prometheus + JSONL files."""
+    from .core.stats import BufferStats
+    from .obs.export import (
+        merge_snapshots,
+        snapshot_jsonl_lines,
+        write_jsonl,
+        write_prometheus,
+    )
+    from .obs.metrics import Histogram
+
+    merged = merge_snapshots(result.metrics for _, result in sink)
+    path = write_prometheus(out_path, merged)
+    lines: list[str] = []
+    totals = BufferStats()
+    for label, result in sink:
+        lines.extend(snapshot_jsonl_lines(result.metrics, label))
+        totals.merge(result.stats)
+    jsonl_path = write_jsonl(Path(out_path).with_suffix(".jsonl"), lines)
+    latency_count = sum(
+        series.count for series in merged.series()
+        if isinstance(series, Histogram) and series.name == "op_latency_ns"
+    )
+    print(f"   metrics: {len(sink)} cell(s), "
+          f"op_latency_ns count={latency_count}, "
+          f"stats reads+writes={totals.reads + totals.writes}")
+    print(f"   wrote {path} and {jsonl_path}")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ invariants:
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import threading
 from typing import Callable
@@ -131,6 +132,29 @@ class EventBus:
             self._rebuild(
                 tuple(h for h in self._handlers if h is not handler)
             )
+
+    @contextlib.contextmanager
+    def subscription(self, handler: EventHandler):
+        """Scoped subscription: the handler is removed on exit, even when
+        the body raises.  Measurement-window observers (trace recorders,
+        metrics hubs) use this so an aborted run can never leak a
+        subscriber into later runs — a leak both double-counts and, for
+        handlers without ``apply_event``, silently knocks the bus off
+        its allocation-free fast path.
+        """
+        self.subscribe(handler)
+        try:
+            yield handler
+        finally:
+            self.unsubscribe(handler)
+
+    def is_subscribed(self, handler: EventHandler) -> bool:
+        return any(h is handler for h in self._handlers)
+
+    @property
+    def fast_path_active(self) -> bool:
+        """True while every subscriber supports positional fast dispatch."""
+        return self._fast_appliers is not None
 
     def _rebuild(self, handlers: tuple[EventHandler, ...]) -> None:
         """Swap in a new handler tuple and recompute the fast path."""

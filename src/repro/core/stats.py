@@ -88,6 +88,17 @@ class BufferStats:
             setattr(delta, f.name, getattr(self, f.name) - getattr(baseline, f.name))
         return delta
 
+    def merge(self, other: "BufferStats") -> "BufferStats":
+        """Add another run's counters into this one (returns ``self``).
+
+        Used to aggregate per-cell stats when many executor cells feed
+        one metrics export, e.g. to reconcile the merged
+        ``op_latency_ns`` histogram count against total operations.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
 
 def inclusivity_ratio(dram_pages: set[int], nvm_pages: set[int]) -> float:
     """Degree of duplication across the DRAM and NVM buffers (§3.3).

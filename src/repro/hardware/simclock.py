@@ -48,6 +48,17 @@ class SimClock:
             self._now_ns += delta_ns
             return self._now_ns
 
+    def advance_to(self, target_ns: float) -> float:
+        """Advance the clock to ``target_ns`` if that is in the future.
+
+        Unlike :meth:`advance`, a target in the past is a no-op rather
+        than an error — epoch samplers race benignly for the same tick.
+        """
+        with self._lock:
+            if target_ns > self._now_ns:
+                self._now_ns = float(target_ns)
+            return self._now_ns
+
     def reset(self) -> None:
         with self._lock:
             self._now_ns = 0.0
@@ -65,6 +76,14 @@ class ResourceUsage:
         self.busy_ns += service_ns
         self.operations += 1
         self.bytes_moved += nbytes
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-able form for run results and bench reports."""
+        return {
+            "busy_ns": self.busy_ns,
+            "operations": self.operations,
+            "bytes_moved": self.bytes_moved,
+        }
 
     def merged(self, other: "ResourceUsage") -> "ResourceUsage":
         return ResourceUsage(
@@ -114,6 +133,10 @@ class CostAccumulator:
         self._usage: dict[str, ResourceUsage] = {}
         self._lock = threading.Lock()
         self._cpu_batch = _CpuBatch()
+        #: Running sum of every committed charge.  Kept alongside the
+        #: per-resource tallies so observability can read "simulated
+        #: time so far" with a single attribute load on the hot path.
+        self._total_ns = 0.0
 
     def begin_cpu_batch(self) -> None:
         """Open a per-operation CPU batch on the current thread."""
@@ -135,6 +158,7 @@ class CostAccumulator:
                         self._usage[self.CPU] = usage
                     for service_ns in pending:
                         usage.charge(service_ns)
+                        self._total_ns += service_ns
 
     def charge(self, resource: str, service_ns: float, nbytes: int = 0) -> None:
         """Charge ``service_ns`` of busy time against ``resource``."""
@@ -161,6 +185,18 @@ class CostAccumulator:
                 usage = ResourceUsage()
                 self._usage[resource] = usage
             usage.charge(service_ns, nbytes)
+            self._total_ns += service_ns
+
+    @property
+    def total_ns(self) -> float:
+        """Total committed service demand — the run's simulated timeline.
+
+        A single attribute read (no lock, no dict walk): the
+        :class:`~repro.obs.hub.MetricsHub` brackets every op's charge
+        with two of these reads, so it must stay O(1).  Charges still
+        pending in an open CPU batch are not yet visible.
+        """
+        return self._total_ns
 
     def usage(self, resource: str) -> ResourceUsage:
         """Current usage for ``resource`` (zeroes if never charged)."""
@@ -189,6 +225,7 @@ class CostAccumulator:
         self._cpu_batch.pending.clear()
         with self._lock:
             self._usage.clear()
+            self._total_ns = 0.0
 
     # ------------------------------------------------------------------
     # Makespan / throughput analysis
@@ -237,4 +274,5 @@ class CostAccumulator:
                 operations=usage.operations - base.operations,
                 bytes_moved=usage.bytes_moved - base.bytes_moved,
             )
+            delta._total_ns += delta._usage[key].busy_ns
         return delta

@@ -1,0 +1,48 @@
+"""First-class observability: metrics, sim-latency histograms, tracing.
+
+The package turns the PR-1 :class:`~repro.core.events.EventBus` into a
+full telemetry surface:
+
+* :mod:`repro.obs.metrics` — thread-safe Counter/Gauge/Histogram
+  primitives behind a :class:`MetricsRegistry`; histograms use
+  log2-scaled simulated-nanosecond buckets,
+* :mod:`repro.obs.hub` — the :class:`MetricsHub` bus subscriber that
+  derives per-tier hit/miss/eviction rates, occupancy and dirty-ratio
+  gauges (sampled on sim-clock epochs), and per-op simulated-latency
+  histograms split by outcome (DRAM hit / NVM hit / SSD fetch),
+* :mod:`repro.obs.tracer` — a sampling page-lifecycle tracer recording
+  install → migrate → evict → write-back spans with sim timestamps,
+* :mod:`repro.obs.export` — Prometheus text exposition and JSONL
+  snapshot streams, plus deterministic snapshot merging for per-worker
+  results coming back from the process-pool executor.
+
+Every subscriber implements the bus's ``apply_event`` fast-path
+protocol, so attaching observability never knocks the bus off its
+allocation-free emission path.
+"""
+
+from .export import (
+    merge_snapshots,
+    prometheus_text,
+    snapshot_jsonl_lines,
+    write_jsonl,
+    write_prometheus,
+)
+from .hub import MetricsHub
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import PageLifecycleTracer, TraceSpan
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsHub",
+    "MetricsRegistry",
+    "PageLifecycleTracer",
+    "TraceSpan",
+    "merge_snapshots",
+    "prometheus_text",
+    "snapshot_jsonl_lines",
+    "write_jsonl",
+    "write_prometheus",
+]

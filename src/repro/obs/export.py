@@ -1,0 +1,145 @@
+"""Exporters: Prometheus text exposition and JSONL snapshot streams.
+
+Two formats, one registry:
+
+* :func:`prometheus_text` renders a
+  :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+  exposition format (``# TYPE`` per family, cumulative ``_bucket``
+  series with ``le`` labels, ``_sum``/``_count`` per histogram),
+* :func:`snapshot_jsonl_lines` flattens a
+  :meth:`~repro.obs.hub.MetricsHub.snapshot` payload into one JSON
+  object per line — one ``series`` record per metric and one ``epoch``
+  record per gauge-sampling tick — ready to append to a ``.jsonl``
+  stream across cells.
+
+Everything renders with sorted keys and sorted series, so two registries
+holding the same data produce byte-identical output — the property the
+``--jobs 1`` vs ``--jobs N`` determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import BUCKET_BOUNDS, Histogram, MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integral floats without the trailing .0."""
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return _format_value(bound)
+
+
+def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(key, labels[key]) for key in sorted(labels)] + list(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return f"{{{rendered}}}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    families: dict[str, list] = {}
+    kinds: dict[str, str] = {}
+    for series in registry.series():
+        families.setdefault(series.name, []).append(series)
+        kinds[series.name] = series.kind
+    lines: list[str] = []
+    for name in sorted(families):
+        lines.append(f"# TYPE {name} {kinds[name]}")
+        for series in families[name]:
+            if isinstance(series, Histogram):
+                counts = series.bucket_counts()
+                cumulative = 0
+                for bound, count in zip(BUCKET_BOUNDS, counts):
+                    cumulative += count
+                    labels = _labels_text(
+                        series.labels, (("le", _format_bound(bound)),)
+                    )
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _labels_text(series.labels)
+                lines.append(f"{name}_sum{labels} {_format_value(series.sum)}")
+                lines.append(f"{name}_count{labels} {cumulative}")
+            else:
+                labels = _labels_text(series.labels)
+                lines.append(f"{name}{labels} {_format_value(series.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str | Path, registry: MetricsRegistry) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+# ----------------------------------------------------------------------
+# JSONL snapshot streams
+# ----------------------------------------------------------------------
+def _dump(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def snapshot_jsonl_lines(snapshot: dict, label: str | None = None) -> list[str]:
+    """Flatten one hub snapshot (``registry`` + ``epochs``) into JSONL lines.
+
+    ``label`` names the producing run/cell so streams from many cells
+    can share one file and still be separated downstream.
+    """
+    lines = []
+    registry = snapshot.get("registry", {})
+    for key in sorted(registry):
+        entry = registry[key]
+        record = {
+            "record": "series",
+            "series": key,
+            "kind": entry["kind"],
+            "state": entry["state"],
+        }
+        if label is not None:
+            record["cell"] = label
+        lines.append(_dump(record))
+    for epoch in snapshot.get("epochs", ()):
+        record = {"record": "epoch", **epoch}
+        if label is not None:
+            record["cell"] = label
+        lines.append(_dump(record))
+    return lines
+
+
+def write_jsonl(path: str | Path, lines: list[str]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Deterministic merging
+# ----------------------------------------------------------------------
+def merge_snapshots(snapshots) -> MetricsRegistry:
+    """Fold registry snapshots (in the given order) into one registry.
+
+    Counters and histogram buckets sum; gauges keep the last merged
+    value.  The executor returns results in submission order regardless
+    of ``--jobs``, so merging per-cell snapshots in result order yields
+    the same registry — and the same exported bytes — at any job count.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        registry = snapshot.get("registry", snapshot)
+        merged.merge_snapshot(registry)
+    return merged

@@ -1,0 +1,269 @@
+"""The MetricsHub: an event-bus subscriber that derives live metrics.
+
+One hub attaches to one buffer manager for one measurement window and
+projects the event stream onto a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* **traffic counters** — ops by kind, hits per tier, misses, installs,
+  evictions, write-backs, clean drops, flushes, and per-edge migrations,
+* **per-op simulated latency** — each logical op's cost is bracketed by
+  reading the shared :class:`~repro.hardware.simclock.CostAccumulator`
+  total at consecutive ``OP_READ``/``OP_WRITE`` events; the delta lands
+  in a log2 histogram split by outcome (``dram_hit`` / ``nvm_hit`` /
+  ``ssd_fetch`` / any other tier's hit), so tail questions like "what
+  was the p99 during the policy transient?" are answerable after the
+  fact.  An op's latency includes the WAL/checkpoint work it triggered,
+  which is charged before the next op begins,
+* **epoch gauges** — whenever accumulated sim time crosses an epoch
+  boundary the hub samples tier occupancy and dirty ratios, records the
+  sample in an epoch series, and advances the hierarchy's
+  :class:`~repro.hardware.simclock.SimClock` to the boundary, so the
+  clock tracks observable sim progress.
+
+The hub implements the bus's ``apply_event`` fast-path protocol, so the
+bus stays on its allocation-free emission path while a hub is attached;
+:meth:`detach` restores the exact pre-attach subscriber set.  Under
+concurrent ``threading`` workers the histogram *counts* stay exact (one
+observation per op event, by construction); outcome attribution of an
+individual latency sample may be approximate across interleaved ops.
+"""
+
+from __future__ import annotations
+
+from ..core.events import EventType
+from ..hardware.specs import Tier
+from .metrics import Counter, Histogram, MetricsRegistry
+
+#: Default epoch length for gauge sampling: 10 simulated milliseconds.
+DEFAULT_EPOCH_NS = 10_000_000.0
+
+#: Outcome label of a full miss (the access went to the SSD store).
+MISS_OUTCOME = "ssd_fetch"
+
+
+def outcome_label(tier: Tier) -> str:
+    """The latency-histogram outcome label of a hit on ``tier``."""
+    return f"{tier.name.lower()}_hit"
+
+
+class MetricsHub:
+    """Derives registry metrics from one buffer manager's event stream."""
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 epoch_ns: float = DEFAULT_EPOCH_NS) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.epoch_ns = float(epoch_ns)
+        #: One record per epoch tick: sim time plus per-tier occupancy
+        #: and dirty ratios — the time series behind "how did the DRAM
+        #: dirty ratio evolve before the checkpoint?".
+        self.epochs: list[dict] = []
+        self._bm = None
+        self._bus = None
+        self._cost = None
+        self._clock = None
+        self._chain = None
+        self._next_epoch = float("inf")
+        # Per-op bracketing state.
+        self._op_start: float | None = None
+        self._cur_hist: Histogram | None = None
+        self._finalized = False
+        # Resolved-per-attach metric handles (no registry lookups on the
+        # hot path).
+        self._reads: Counter | None = None
+        self._writes: Counter | None = None
+        self._miss_counter: Counter | None = None
+        self._miss_hist: Histogram | None = None
+        self._hit_counters: dict[Tier, Counter] = {}
+        self._hit_hists: dict[Tier, Histogram] = {}
+        self._evict_counters: dict[Tier, Counter] = {}
+        self._install_counters: dict[Tier, Counter] = {}
+        self._writeback_counters: dict[Tier, Counter] = {}
+        self._migrate_counters: dict[tuple, Counter] = {}
+        self._clean_drops: Counter | None = None
+        self._flushes: Counter | None = None
+        self._occupancy_gauges: dict[Tier, object] = {}
+        self._dirty_gauges: dict[Tier, object] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, bm) -> "MetricsHub":
+        """Subscribe to ``bm``'s bus and resolve per-tier metric handles."""
+        if self._bus is not None:
+            raise RuntimeError("hub is already attached")
+        registry = self.registry
+        self._bm = bm
+        self._cost = bm.hierarchy.cost
+        self._clock = bm.hierarchy.clock
+        self._chain = bm.chain
+        self._reads = registry.counter("buffer_ops_total", {"kind": "read"})
+        self._writes = registry.counter("buffer_ops_total", {"kind": "write"})
+        self._miss_counter = registry.counter("buffer_misses_total")
+        self._miss_hist = registry.histogram(
+            "op_latency_ns", {"outcome": MISS_OUTCOME}
+        )
+        self._clean_drops = registry.counter("clean_drops_total")
+        self._flushes = registry.counter("dirty_page_flushes_total")
+        for node in bm.chain:
+            tier = node.tier
+            name = tier.name
+            self._hit_counters[tier] = registry.counter(
+                "tier_hits_total", {"tier": name}
+            )
+            self._hit_hists[tier] = registry.histogram(
+                "op_latency_ns", {"outcome": outcome_label(tier)}
+            )
+            self._evict_counters[tier] = registry.counter(
+                "tier_evictions_total", {"tier": name}
+            )
+            self._install_counters[tier] = registry.counter(
+                "tier_installs_total", {"tier": name}
+            )
+            self._writeback_counters[tier] = registry.counter(
+                "tier_write_backs_total", {"src": name}
+            )
+            self._occupancy_gauges[tier] = registry.gauge(
+                "tier_occupancy_ratio", {"tier": name}
+            )
+            self._dirty_gauges[tier] = registry.gauge(
+                "tier_dirty_ratio", {"tier": name}
+            )
+        self._op_start = None
+        self._cur_hist = None
+        self._finalized = False
+        self._next_epoch = self._cost.total_ns + self.epoch_ns
+        self._bus = bm.events
+        self._bus.subscribe(self)
+        return self
+
+    def detach(self) -> None:
+        """Finalize pending state and restore the pre-attach bus."""
+        if self._bus is None:
+            return
+        self.finalize()
+        self._bus.unsubscribe(self)
+        self._bus = None
+
+    def finalize(self) -> None:
+        """Flush the in-flight op and take a closing gauge sample."""
+        if self._finalized or self._cost is None:
+            return
+        self._finalized = True
+        now = self._cost.total_ns
+        start = self._op_start
+        if start is not None:
+            hist = self._cur_hist or self._miss_hist
+            hist.observe(now - start)
+            self._op_start = None
+            self._cur_hist = None
+        if self._chain is not None:
+            self._sample_epoch(now)
+
+    # ------------------------------------------------------------------
+    # Bus protocol
+    # ------------------------------------------------------------------
+    def __call__(self, event) -> None:
+        self.apply_event(event.type, event.page_id, event.tier, event.src,
+                         event.dirty)
+
+    def apply_event(self, etype, page_id, tier, src, dirty) -> None:
+        """Fast-path projection; fields arrive positionally from the bus."""
+        if etype is EventType.OP_READ or etype is EventType.OP_WRITE:
+            now = self._cost.total_ns
+            start = self._op_start
+            if start is not None:
+                # The previous op's charges (including its WAL/checkpoint
+                # tail) are committed by the time the next op begins.
+                (self._cur_hist or self._miss_hist).observe(now - start)
+            self._op_start = now
+            self._cur_hist = None
+            self._finalized = False
+            if etype is EventType.OP_READ:
+                self._reads.inc()
+            else:
+                self._writes.inc()
+            if now >= self._next_epoch:
+                self._sample_epoch(now)
+        elif etype is EventType.HIT:
+            self._cur_hist = self._hit_hists.get(tier, self._miss_hist)
+            counter = self._hit_counters.get(tier)
+            if counter is not None:
+                counter.inc()
+        elif etype is EventType.MISS:
+            self._cur_hist = self._miss_hist
+            self._miss_counter.inc()
+        elif etype is EventType.INSTALL:
+            counter = self._install_counters.get(tier)
+            if counter is not None:
+                counter.inc()
+        elif etype is EventType.MIGRATE_UP or etype is EventType.MIGRATE_DOWN:
+            key = (etype, src, tier)
+            counter = self._migrate_counters.get(key)
+            if counter is None:
+                direction = "up" if etype is EventType.MIGRATE_UP else "down"
+                edge = f"{src.name if src else '?'}->{tier.name if tier else '?'}"
+                counter = self.registry.counter(
+                    "migrations_total", {"direction": direction, "edge": edge}
+                )
+                self._migrate_counters[key] = counter
+            counter.inc()
+        elif etype is EventType.EVICT:
+            counter = self._evict_counters.get(tier)
+            if counter is not None:
+                counter.inc()
+        elif etype is EventType.WRITE_BACK:
+            counter = self._writeback_counters.get(src)
+            if counter is not None:
+                counter.inc()
+        elif etype is EventType.CLEAN_DROP:
+            self._clean_drops.inc()
+        elif etype is EventType.FLUSH:
+            self._flushes.inc()
+
+    # ------------------------------------------------------------------
+    # Epoch gauges
+    # ------------------------------------------------------------------
+    def _sample_epoch(self, now: float) -> None:
+        """Sample occupancy/dirty gauges and advance the sim clock."""
+        tiers: dict[str, dict[str, float]] = {}
+        for node in self._chain:
+            pool = node.pool
+            capacity = pool.capacity_bytes or 1
+            occupancy = pool.used_bytes / capacity
+            descriptors = pool.descriptors()
+            dirty = sum(1 for d in descriptors if d.dirty)
+            dirty_ratio = dirty / len(descriptors) if descriptors else 0.0
+            self._occupancy_gauges[node.tier].set(occupancy)
+            self._dirty_gauges[node.tier].set(dirty_ratio)
+            tiers[node.tier.name] = {
+                "occupancy": occupancy,
+                "dirty_ratio": dirty_ratio,
+            }
+        self.epochs.append({"sim_ns": now, "tiers": tiers})
+        if self._clock is not None:
+            self._clock.advance_to(now)
+        # Next boundary strictly ahead of now, even after a long stall.
+        epoch = self.epoch_ns
+        self._next_epoch = now + epoch - (now % epoch if epoch else 0.0)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able result payload: registry state plus the epoch series."""
+        return {
+            "registry": self.registry.snapshot(),
+            "epochs": list(self.epochs),
+        }
+
+    def op_latency_count(self) -> int:
+        """Total latency observations across all outcome histograms.
+
+        Reconciles ±0 with ``BufferStats.reads + writes`` for the same
+        window once :meth:`finalize` has run — every op event flushes
+        exactly one observation.
+        """
+        total = 0
+        for series in self.registry.series():
+            if isinstance(series, Histogram) and series.name == "op_latency_ns":
+                total += series.count
+        return total

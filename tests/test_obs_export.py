@@ -1,0 +1,124 @@
+"""Exporters: Prometheus text exposition, JSONL streams, merging."""
+
+import json
+
+from repro.obs.export import (
+    merge_snapshots,
+    prometheus_text,
+    snapshot_jsonl_lines,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("ops_total", {"kind": "read"}).inc(7)
+    registry.counter("ops_total", {"kind": "write"}).inc(3)
+    registry.gauge("occupancy", {"tier": "DRAM"}).set(0.5)
+    hist = registry.histogram("latency_ns", {"outcome": "dram_hit"})
+    hist.observe(20)
+    hist.observe(20)
+    hist.observe(2**20)
+    return registry
+
+
+class TestPrometheusText:
+    def test_type_lines_and_samples(self):
+        text = prometheus_text(sample_registry())
+        assert "# TYPE ops_total counter" in text
+        assert "# TYPE occupancy gauge" in text
+        assert "# TYPE latency_ns histogram" in text
+        assert 'ops_total{kind="read"} 7' in text
+        assert 'ops_total{kind="write"} 3' in text
+        assert 'occupancy{tier="DRAM"} 0.5' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_text(sample_registry())
+        assert 'latency_ns_bucket{outcome="dram_hit",le="32"} 2' in text
+        assert 'latency_ns_bucket{outcome="dram_hit",le="+Inf"} 3' in text
+        assert 'latency_ns_count{outcome="dram_hit"} 3' in text
+        assert f'latency_ns_sum{{outcome="dram_hit"}} {40 + 2**20}' in text
+
+    def test_all_bucket_bounds_rendered(self):
+        text = prometheus_text(sample_registry())
+        bucket_lines = [line for line in text.splitlines()
+                        if line.startswith("latency_ns_bucket")]
+        assert len(bucket_lines) == len(BUCKET_BOUNDS)
+
+    def test_insertion_order_does_not_change_bytes(self):
+        forward = sample_registry()
+
+        backward = MetricsRegistry()
+        hist = backward.histogram("latency_ns", {"outcome": "dram_hit"})
+        hist.observe(2**20)
+        hist.observe(20)
+        hist.observe(20)
+        backward.gauge("occupancy", {"tier": "DRAM"}).set(0.5)
+        backward.counter("ops_total", {"kind": "write"}).inc(3)
+        backward.counter("ops_total", {"kind": "read"}).inc(7)
+
+        assert prometheus_text(forward) == prometheus_text(backward)
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_prometheus(tmp_path / "nested" / "m.prom",
+                                sample_registry())
+        assert path.exists()
+        assert path.read_text() == prometheus_text(sample_registry())
+
+
+class TestJsonl:
+    def snapshot(self) -> dict:
+        return {
+            "registry": sample_registry().snapshot(),
+            "epochs": [{"sim_ns": 100.0,
+                        "tiers": {"DRAM": {"occupancy": 0.5,
+                                           "dirty_ratio": 0.0}}}],
+        }
+
+    def test_lines_parse_and_are_labelled(self):
+        lines = snapshot_jsonl_lines(self.snapshot(), "cell-a")
+        records = [json.loads(line) for line in lines]
+        kinds = {record["record"] for record in records}
+        assert kinds == {"series", "epoch"}
+        assert all(record["cell"] == "cell-a" for record in records)
+        series = [r for r in records if r["record"] == "series"]
+        assert len(series) == len(sample_registry().snapshot())
+
+    def test_label_optional(self):
+        records = [json.loads(line)
+                   for line in snapshot_jsonl_lines(self.snapshot())]
+        assert all("cell" not in record for record in records)
+
+    def test_write_jsonl(self, tmp_path):
+        lines = snapshot_jsonl_lines(self.snapshot(), "cell-a")
+        path = write_jsonl(tmp_path / "out" / "m.jsonl", lines)
+        assert path.read_text().splitlines() == lines
+
+    def test_write_jsonl_empty(self, tmp_path):
+        path = write_jsonl(tmp_path / "empty.jsonl", [])
+        assert path.read_text() == ""
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_across_snapshots(self):
+        snap = {"registry": sample_registry().snapshot(), "epochs": []}
+        merged = merge_snapshots([snap, snap])
+        assert merged.get("ops_total", {"kind": "read"}).value == 14
+        hist = merged.get("latency_ns", {"outcome": "dram_hit"})
+        assert hist.count == 6
+
+    def test_skips_none_and_accepts_bare_registry(self):
+        merged = merge_snapshots([None, sample_registry().snapshot()])
+        assert merged.get("ops_total", {"kind": "read"}).value == 7
+
+    def test_merge_order_is_all_that_matters(self):
+        """Same snapshots, same order -> byte-identical exports."""
+        a = {"registry": sample_registry().snapshot(), "epochs": []}
+        b_registry = MetricsRegistry()
+        b_registry.counter("ops_total", {"kind": "read"}).inc(1)
+        b = {"registry": b_registry.snapshot(), "epochs": []}
+        once = prometheus_text(merge_snapshots([a, b]))
+        again = prometheus_text(merge_snapshots([a, b]))
+        assert once == again

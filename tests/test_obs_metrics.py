@@ -1,0 +1,204 @@
+"""Metrics primitives and registry: buckets, locking, snapshots, merging."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    NUM_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+)
+
+
+class TestBucketIndex:
+    def test_bounds_are_powers_of_two_plus_overflow(self):
+        assert len(BUCKET_BOUNDS) == NUM_BUCKETS
+        assert BUCKET_BOUNDS[0] == 16.0
+        assert BUCKET_BOUNDS[-1] == float("inf")
+        for lower, upper in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:-1]):
+            assert upper == lower * 2
+
+    def test_every_value_lands_at_or_below_its_bound(self):
+        for value in (0, 1, 15, 16, 17, 100, 2**20, 2**33, 2**40):
+            index = bucket_index(value)
+            assert 0 <= index < NUM_BUCKETS
+            assert value <= BUCKET_BOUNDS[index]
+
+    def test_monotone(self):
+        values = [0, 8, 16, 31, 32, 1000, 2**30, 2**35, 2**50]
+        indices = [bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+
+    def test_negative_clamps_to_first_bucket(self):
+        assert bucket_index(-5.0) == 0
+
+    def test_overflow_clamps_to_last_bucket(self):
+        assert bucket_index(2**60) == NUM_BUCKETS - 1
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("ops_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_merge_state_adds(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(3)
+        b.inc(7)
+        a._merge_state(b._state())
+        assert a.value == 10
+
+
+class TestGauge:
+    def test_set_keeps_last(self):
+        g = Gauge("ratio")
+        g.set(0.25)
+        g.set(0.75)
+        assert g.value == 0.75
+
+    def test_merge_state_keeps_last_merged(self):
+        a, b = Gauge("x"), Gauge("x")
+        a.set(0.1)
+        b.set(0.9)
+        a._merge_state(b._state())
+        assert a.value == 0.9
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        h = Histogram("latency")
+        for value in (10, 100, 1000):
+            h.observe(value)
+        assert h.count == 3
+        assert h.sum == 1110
+
+    def test_bucket_counts_align_with_bucket_index(self):
+        h = Histogram("latency")
+        h.observe(20)
+        counts = h.bucket_counts()
+        assert counts[bucket_index(20)] == 1
+        assert sum(counts) == 1
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        h = Histogram("latency")
+        for _ in range(99):
+            h.observe(20)  # bucket bound 32
+        h.observe(2**20 - 1)
+        assert h.quantile(0.5) == 32.0
+        assert h.quantile(1.0) == float(2**20)
+
+    def test_quantile_empty_and_invalid(self):
+        h = Histogram("latency")
+        assert h.quantile(0.99) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_state_adds_buckets_and_sum(self):
+        a, b = Histogram("x"), Histogram("x")
+        a.observe(100)
+        b.observe(100)
+        b.observe(5000)
+        a._merge_state(b._state())
+        assert a.count == 3
+        assert a.sum == 5200
+
+
+class TestRegistry:
+    def test_interns_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", {"tier": "DRAM"})
+        b = registry.counter("hits", {"tier": "DRAM"})
+        c = registry.counter("hits", {"tier": "NVM"})
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_series_sorted_by_key(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        registry.counter("alpha", {"tier": "NVM"})
+        keys = [s.name for s in registry.series()]
+        assert keys == ["alpha", "alpha", "zeta"]
+
+    def test_get(self):
+        registry = MetricsRegistry()
+        created = registry.gauge("ratio", {"tier": "DRAM"})
+        assert registry.get("ratio", {"tier": "DRAM"}) is created
+        assert registry.get("ratio", {"tier": "SSD"}) is None
+
+    def test_snapshot_merge_roundtrip(self):
+        source = MetricsRegistry()
+        source.counter("ops").inc(5)
+        source.gauge("ratio").set(0.5)
+        source.histogram("lat").observe(100)
+        snap = source.snapshot()
+
+        target = MetricsRegistry()
+        target.merge_snapshot(snap)
+        target.merge_snapshot(snap)
+        assert target.get("ops").value == 10  # counters add
+        assert target.get("ratio").value == 0.5  # gauges keep last
+        assert target.get("lat").count == 2
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("lat", {"outcome": "dram_hit"}).observe(64)
+        json.dumps(registry.snapshot())
+
+
+class TestThreadSafety:
+    """Concurrent updates lose no samples (the no-lost-samples contract)."""
+
+    THREADS = 8
+    PER_THREAD = 10_000
+
+    def _run(self, worker):
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_exact_under_threads(self):
+        c = Counter("ops")
+        self._run(lambda: [c.inc() for _ in range(self.PER_THREAD)])
+        assert c.value == self.THREADS * self.PER_THREAD
+
+    def test_histogram_exact_under_threads(self):
+        h = Histogram("lat")
+        self._run(lambda: [h.observe(100) for _ in range(self.PER_THREAD)])
+        assert h.count == self.THREADS * self.PER_THREAD
+        assert h.sum == 100 * self.THREADS * self.PER_THREAD
+
+    def test_registry_interning_under_threads(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            series = registry.counter("shared", {"tier": "DRAM"})
+            with lock:
+                seen.append(series)
+            series.inc()
+
+        self._run(worker)
+        assert len(set(map(id, seen))) == 1  # one interned instance
+        assert registry.get("shared", {"tier": "DRAM"}).value == self.THREADS
