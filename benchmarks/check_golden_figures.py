@@ -14,10 +14,18 @@ pipeline property rather than a by-hand claim.
 the figure JSON must still match byte-for-byte, proving observability
 is side-effect-free on the measured system.
 
+``--with-faults-disabled`` regenerates with a **no-op**
+:class:`~repro.faults.plan.FaultPlan` installed in every cell — each
+device is wrapped in a pure-delegation
+:class:`~repro.faults.injector.FaultyDevice`.  Byte-identity here
+proves the fault-injection layer costs nothing when disabled: the
+wrappers perturb neither the cost model nor the measured figures.
+
 Usage::
 
     python benchmarks/check_golden_figures.py            # fig6 + fig7
     python benchmarks/check_golden_figures.py fig6 --jobs 4 --with-metrics
+    python benchmarks/check_golden_figures.py --with-faults-disabled
 """
 
 from __future__ import annotations
@@ -40,14 +48,21 @@ RESULTS_DIR = Path(__file__).parent / "results"
 DEFAULT_EXPERIMENTS = ("fig6", "fig7")
 
 
-def check(experiment_id: str, jobs: int, with_metrics: bool = False) -> bool:
+def check(experiment_id: str, jobs: int, with_metrics: bool = False,
+          with_faults_disabled: bool = False) -> bool:
     golden = RESULTS_DIR / f"{experiment_id}.json"
     if not golden.exists():
         print(f"FAIL {experiment_id}: no archived result at {golden}")
         return False
     started = time.time()
     scope = metrics_collection() if with_metrics else contextlib.nullcontext([])
-    with scope as sink:
+    fault_scope = contextlib.nullcontext()
+    if with_faults_disabled:
+        from repro.bench.executor import fault_plan_injection
+        from repro.faults.plan import FaultPlan
+
+        fault_scope = fault_plan_injection(FaultPlan.none())
+    with scope as sink, fault_scope:
         result = REGISTRY[experiment_id](quick=True, jobs=jobs)
     with tempfile.TemporaryDirectory() as tmp:
         fresh = result.save_json(tmp)
@@ -55,6 +70,8 @@ def check(experiment_id: str, jobs: int, with_metrics: bool = False) -> bool:
     golden_bytes = golden.read_bytes()
     elapsed = time.time() - started
     mode = f", metrics attached to {len(sink)} cells" if with_metrics else ""
+    if with_faults_disabled:
+        mode += ", no-op fault wrappers installed"
     if fresh_bytes == golden_bytes:
         print(f"OK   {experiment_id}: byte-identical to {golden} "
               f"({len(golden_bytes)} bytes, {elapsed:.1f}s{mode})")
@@ -93,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--with-metrics", action="store_true",
                         help="attach a MetricsHub to every cell while "
                              "regenerating; the JSON must stay byte-identical")
+    parser.add_argument("--with-faults-disabled", action="store_true",
+                        help="install a no-op FaultPlan (pure-delegation "
+                             "device wrappers) in every cell; the JSON must "
+                             "stay byte-identical")
     args = parser.parse_args(argv)
 
     unknown = [e for e in args.experiments if e not in REGISTRY]
@@ -100,7 +121,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
     failures = [
         e for e in args.experiments
-        if not check(e, args.jobs, with_metrics=args.with_metrics)
+        if not check(e, args.jobs, with_metrics=args.with_metrics,
+                     with_faults_disabled=args.with_faults_disabled)
     ]
     return 1 if failures else 0
 

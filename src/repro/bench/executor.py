@@ -1,4 +1,4 @@
-"""Parallel experiment executor: declarative cells over a process pool.
+"""Parallel experiment executor: declarative cells and tasks over a pool.
 
 Every figure in the paper is a grid of independent measurements — one
 buffer manager, one workload, one policy/shape/knob combination per
@@ -26,8 +26,10 @@ figure module).
 
 from __future__ import annotations
 
+import base64
 import contextlib
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -213,12 +215,58 @@ def _record_result(cell: Cell, result: RunResult) -> None:
 
 
 # ----------------------------------------------------------------------
+# Session-wide fault-plan injection
+# ----------------------------------------------------------------------
+#: Environment payload carrying a pickled FaultPlan into pool workers.
+#: Same pattern as METRICS_ENV: an env var survives into workers under
+#: both fork and spawn start methods, so every cell — local or remote —
+#: builds its hierarchy with the same plan installed.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+def active_fault_plan():
+    """The FaultPlan carried by the environment, or None."""
+    payload = os.environ.get(FAULT_PLAN_ENV)
+    if not payload:
+        return None
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+@contextlib.contextmanager
+def fault_plan_injection(plan):
+    """Install ``plan`` under every cell run in this scope.
+
+    Each :func:`run_cell` wraps its hierarchy's devices with
+    :func:`~repro.faults.injector.inject_faults` before building the
+    buffer manager.  A no-op plan yields pure-delegation wrappers — the
+    golden-figure gate uses exactly this to prove figure JSON stays
+    byte-identical with the injection layer installed.
+    """
+    payload = base64.b64encode(pickle.dumps(plan)).decode("ascii")
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    os.environ[FAULT_PLAN_ENV] = payload
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+
+
+# ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
 def run_cell(cell: Cell) -> RunResult:
     """Build and measure one cell from scratch (runs inside workers too)."""
     hierarchy = StorageHierarchy(cell.shape, cell.scale,
                                  memory_mode=cell.memory_mode)
+    plan = active_fault_plan()
+    if plan is not None:
+        # Devices must be wrapped before the BM captures references.
+        from ..faults.injector import inject_faults
+
+        inject_faults(hierarchy, plan)
     config = cell.bm_config
     if config is None:
         config = BufferManagerConfig(seed=cell.seed)
@@ -297,6 +345,37 @@ def run_cells(cells, jobs: int = 1) -> list[RunResult]:
     for cell, result in zip(cells, results):
         _record_result(cell, result)
     return results
+
+
+def run_tasks(fn, items, jobs: int = 1) -> list:
+    """Run ``fn`` over ``items`` with the executor's determinism rules.
+
+    The generic sibling of :func:`run_cells` for non-Cell work (the
+    chaos crash-point matrix fans out :class:`CrashCase` values this
+    way): results come back in submission order regardless of
+    completion order, ``jobs<=1`` runs in-process with no pool, and a
+    pool that cannot spawn (or breaks wholesale) degrades to a serial
+    rerun — identical output, because tasks are self-contained and
+    deterministic.  ``fn`` and every item must be picklable.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+    except (OSError, ValueError, NotImplementedError):
+        return [fn(item) for item in items]
+    try:
+        futures = [pool.submit(fn, item) for item in items]
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                return [fn(item) for item in items]
+        return results
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 @dataclass

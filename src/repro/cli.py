@@ -8,6 +8,7 @@ Usage::
     repro-experiments --all --jobs 8     # fan cells out over 8 processes
     repro-experiments fig14 --out results/
     repro-experiments fig6 --metrics-out metrics.prom
+    repro-experiments chaos --seeds 1 7 --jobs 4 --out chaos.json
 
 Each experiment prints a paper-style text table and (with ``--out``)
 writes a JSON result file for archival/plotting.  ``--metrics-out``
@@ -15,6 +16,12 @@ attaches a :class:`~repro.obs.hub.MetricsHub` to every executor cell
 and writes the merged metrics as Prometheus text exposition (plus a
 ``.jsonl`` snapshot stream next to it); the figure JSON itself is
 byte-identical with or without metrics attached.
+
+The ``chaos`` subcommand runs the crash-consistency matrix instead of
+an experiment: every consistency-relevant boundary of a deterministic
+reference workload gets a crash-and-recover replay, with WAL-tail and
+torn-page hazards layered on top (see ``docs/FAULTS.md``).  The JSON
+report is byte-identical for any ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -29,6 +36,9 @@ from .bench.experiments import REGISTRY
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the Spitfire (SIGMOD '21) evaluation.",
@@ -85,6 +95,79 @@ def main(argv: list[str] | None = None) -> int:
     if args.metrics_out:
         _export_metrics(args.metrics_out, sink)
     return 0
+
+
+def chaos_main(argv: list[str]) -> int:
+    """``repro-experiments chaos``: the crash-consistency matrix."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments chaos",
+        description="Replay a deterministic workload, crashing at every "
+                    "consistency-relevant boundary, and assert the ACID "
+                    "invariant catalogue after recovery.",
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 7, 23],
+                        metavar="N", help="workload seeds (default: 1 7 23)")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="shorthand for a single-seed run")
+    parser.add_argument("--policies", nargs="+",
+                        default=["DRAM_SSD", "SPITFIRE_LAZY", "SPITFIRE_EAGER"],
+                        metavar="P", help="migration policies to cover")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1; the report is "
+                             "byte-identical at any job count)")
+    parser.add_argument("--no-tail-faults", action="store_true",
+                        help="clean crashes only (skip torn-write, "
+                             "dropped-persist, and torn-page hazards)")
+    parser.add_argument("--read-error-rate", type=float, default=0.0,
+                        metavar="R", help="live transient read-fault rate "
+                                          "during the workload (default: 0)")
+    parser.add_argument("--write-error-rate", type=float, default=0.0,
+                        metavar="R", help="live transient write-fault rate "
+                                          "during the workload (default: 0)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the JSON report to PATH")
+    args = parser.parse_args(argv)
+
+    from .faults.crashpoints import (
+        POLICIES,
+        render_matrix_json,
+        run_crash_matrix,
+    )
+
+    unknown = [p for p in args.policies if p not in POLICIES]
+    if unknown:
+        parser.error(
+            f"unknown policy(ies): {', '.join(unknown)}; "
+            f"choose from {', '.join(POLICIES)}"
+        )
+    seeds = [args.seed] if args.seed is not None else args.seeds
+
+    started = time.time()
+    report = run_crash_matrix(
+        policies=tuple(args.policies),
+        seeds=tuple(seeds),
+        jobs=args.jobs,
+        with_tail_faults=not args.no_tail_faults,
+        read_error_rate=args.read_error_rate,
+        write_error_rate=args.write_error_rate,
+    )
+    elapsed = time.time() - started
+
+    kinds = ", ".join(f"{kind}={count}"
+                      for kind, count in report["boundary_kinds"].items())
+    print(f"chaos: {report['total_cases']} crash case(s) over "
+          f"{len(report['policies'])} policy(ies) x "
+          f"{len(report['seeds'])} seed(s)  [{elapsed:.1f}s]")
+    print(f"   boundaries: {kinds}")
+    if report["ok"]:
+        print("   all invariants held: OK")
+    else:
+        for case_id in report["failures"]:
+            print(f"   FAILED {case_id}")
+    if args.out:
+        Path(args.out).write_text(render_matrix_json(report) + "\n")
+        print(f"   saved {args.out}")
+    return 0 if report["ok"] else 1
 
 
 def _export_metrics(out_path: str, sink) -> None:

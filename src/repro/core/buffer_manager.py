@@ -188,6 +188,21 @@ class BufferManager:
         """Swap the migration policy at runtime (used by the tuner, §4)."""
         self.policy_slot.set(policy)
 
+    @property
+    def wal_guard(self):
+        """The log-before-data barrier both persist paths honour.
+
+        Set by the storage engine to ``LogManager.ensure_durable``; a
+        checkpoint flush or dirty eviction then forces the log durable
+        through the page's LSN before the page itself reaches durable
+        media.  ``None`` (cost-model benchmarks) disables the barrier.
+        """
+        return self.flush_engine.wal_guard
+
+    @wal_guard.setter
+    def wal_guard(self, guard) -> None:
+        self.flush_engine.wal_guard = guard
+
     def _device(self, tier: Tier) -> Device | MemoryModeDevice:
         return self.hierarchy.device(tier)
 

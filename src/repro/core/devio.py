@@ -8,15 +8,76 @@ DRAM-cache-over-NVM, which additionally needs the *page identity* to
 model its direct-mapped cache).  The access path, space manager, and
 flush engine all perform device transfers, so the dispatch lives here
 once instead of as free functions inside each component.
+
+This module is also the system's resilience boundary.  When a device
+(typically a :class:`~repro.faults.injector.FaultyDevice`) raises a
+transient :class:`~repro.faults.plan.DeviceIOError`, the transfer is
+re-issued with bounded exponential backoff; each backoff interval is
+charged to the issuing worker as CPU stall through the device's cost
+accumulator, so retries cost simulated time exactly like any other
+stall.  When the attempt budget is exhausted the typed
+:class:`~repro.faults.plan.DeviceGaveUpError` surfaces to the caller.
+Without injection the retry wrapper is a single ``try`` around the
+direct call — the fault-free hot path pays one exception-handler setup
+and nothing else.
 """
 
 from __future__ import annotations
 
+from ..faults.plan import DeviceGaveUpError, DeviceIOError
 from ..hardware.device import Device
 from ..hardware.memory_mode import MemoryModeDevice
+from ..hardware.simclock import CostAccumulator
 from ..pages.page import PageId
 
-__all__ = ["device_read", "device_write"]
+__all__ = [
+    "BACKOFF_BASE_NS",
+    "MAX_ATTEMPTS",
+    "device_read",
+    "device_write",
+    "read_with_retry",
+    "write_with_retry",
+]
+
+#: Total issue attempts per transfer (1 initial + MAX_ATTEMPTS-1 retries).
+MAX_ATTEMPTS = 4
+#: Backoff before retry ``k`` (1-based) is ``BACKOFF_BASE_NS * 2**(k-1)``.
+BACKOFF_BASE_NS = 2_000.0
+
+
+def read_with_retry(device: Device, nbytes: int,
+                    sequential: bool = False) -> float:
+    """Issue a read, absorbing transient faults with charged backoff."""
+    attempt = 1
+    while True:
+        try:
+            return device.read(nbytes, sequential)
+        except DeviceIOError as exc:
+            attempt = _backoff_or_give_up(device, exc, attempt)
+
+
+def write_with_retry(device: Device, nbytes: int,
+                     sequential: bool = False) -> float:
+    """Issue a write, absorbing transient faults with charged backoff."""
+    attempt = 1
+    while True:
+        try:
+            return device.write(nbytes, sequential)
+        except DeviceIOError as exc:
+            attempt = _backoff_or_give_up(device, exc, attempt)
+
+
+def _backoff_or_give_up(device, exc: DeviceIOError, attempt: int) -> int:
+    """Charge one backoff interval, or raise when the budget is spent."""
+    if attempt >= MAX_ATTEMPTS:
+        raise DeviceGaveUpError(exc.tier_key, exc.op, exc.op_index,
+                                attempts=attempt) from exc
+    device.cost.charge(CostAccumulator.CPU,
+                       BACKOFF_BASE_NS * (2 ** (attempt - 1)))
+    note_retry = getattr(device, "note_retry", None)
+    if note_retry is not None:
+        note_retry()
+    return attempt + 1
 
 
 def device_read(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
@@ -25,7 +86,7 @@ def device_read(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
     if isinstance(device, MemoryModeDevice):
         device.read_page(page_id, nbytes, sequential)
     else:
-        device.read(nbytes, sequential)
+        read_with_retry(device, nbytes, sequential)
 
 
 def device_write(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int,
@@ -34,4 +95,4 @@ def device_write(device: Device | MemoryModeDevice, page_id: PageId, nbytes: int
     if isinstance(device, MemoryModeDevice):
         device.write_page(page_id, nbytes, sequential)
     else:
-        device.write(nbytes, sequential)
+        write_with_retry(device, nbytes, sequential)

@@ -34,7 +34,7 @@ from ..pages.cacheline_page import CacheLinePage
 from ..pages.mini_page import MiniPage
 from ..pages.page import Page, PageId
 from .descriptors import SharedPageDescriptor, TierPageDescriptor
-from .devio import device_read, device_write
+from .devio import device_read, device_write, read_with_retry
 from .events import EventBus, EventType
 from .mapping_table import MappingTable
 from .migration import Edge, MigrationEngine, MigrationOp
@@ -59,9 +59,22 @@ class FlushEngine:
         #: Bound by :meth:`bind`; flushes that admit into NVM reserve
         #: their frame through the space manager.
         self.space = None
+        #: The WAL rule (log-before-data): when set (by the storage
+        #: engine, to ``LogManager.ensure_durable``), called with a
+        #: page's LSN before its content reaches durable media.
+        self.wal_guard = None
 
     def bind(self, space) -> None:
         self.space = space
+
+    def wal_barrier(self, content) -> None:
+        """Force the log durable through ``content``'s LSN before it
+        is persisted (no-op when no guard is wired)."""
+        guard = self.wal_guard
+        if guard is not None:
+            lsn = getattr(content, "lsn", 0)
+            if lsn:
+                guard(lsn)
 
     # ------------------------------------------------------------------
     # Checkpoint flushing
@@ -107,6 +120,7 @@ class FlushEngine:
                 if not descriptor.dirty:
                     continue
                 content = descriptor.content
+                self.wal_barrier(content)
                 persist_desc = (
                     shared.copy_on(persist_node.tier)
                     if persist_node is not None else None
@@ -178,7 +192,8 @@ class FlushEngine:
                     continue
                 with shared.latched(node.tier, Tier.SSD):
                     if descriptor.dirty and isinstance(descriptor.content, Page):
-                        node.device.read(self.hierarchy.page_size)
+                        self.wal_barrier(descriptor.content)
+                        read_with_retry(node.device, self.hierarchy.page_size)
                         self.store.write_page(descriptor.content, sequential=True)
                         descriptor.clear_dirty()
                         flushed += 1
@@ -198,6 +213,7 @@ class FlushEngine:
         else:
             return
         if dirty_lines:
+            self.wal_barrier(content)
             nvm_device = self.hierarchy.device(Tier.NVM)
             nbytes = dirty_lines * CACHE_LINE_SIZE
             device_write(nvm_device, descriptor.page_id, nbytes)
@@ -236,5 +252,5 @@ class FlushEngine:
                     shared.attach(descriptor)
                     recovered += 1
                 # Scanning the buffer costs a header read per frame.
-                node.device.read(CACHE_LINE_SIZE, sequential=True)
+                read_with_retry(node.device, CACHE_LINE_SIZE, sequential=True)
         return recovered

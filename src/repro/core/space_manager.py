@@ -32,7 +32,7 @@ from ..pages.cacheline_page import CacheLinePage
 from ..pages.mini_page import MiniPage
 from ..pages.page import Page, PageId
 from .descriptors import FrameContent, SharedPageDescriptor, TierPageDescriptor
-from .devio import device_write
+from .devio import device_write, read_with_retry
 from .events import EventBus, EventType
 from .mapping_table import MappingTable
 from .migration import Edge, MigrationEngine, MigrationOp
@@ -162,6 +162,10 @@ class SpaceManager:
 
         lower = self.chain.lower_of(node)
         if descriptor.dirty:
+            # WAL rule: the victim's effects must be durable in the log
+            # before its content reaches durable media (whether the SSD
+            # store or a persistent lower buffer tier).
+            self.flush.wal_barrier(content)
             admitted = lower is not None and self.engine.decide(
                 Edge(node.tier, lower.tier), MigrationOp.EVICT_ADMIT, page_id
             )
@@ -169,15 +173,33 @@ class SpaceManager:
                 self.admit_eviction_to_lower(shared, descriptor, content,
                                              node, lower)
             else:
-                with shared.latched(node.tier, Tier.SSD):
+                # A buffered copy below the victim is stale the moment
+                # the dirty victim bypasses it to the store: the write
+                # that dirtied this copy never reached it.  Leaving it
+                # mapped would serve old content once this tier's copy
+                # is gone — invalidate it under the same latch scope.
+                stale_tier = (
+                    lower.tier if lower is not None
+                    and shared.copy_on(lower.tier) is not None else None
+                )
+                latch_tiers = ((node.tier, Tier.SSD) if stale_tier is None
+                               else (node.tier, stale_tier, Tier.SSD))
+                with shared.latched(*latch_tiers):
                     if isinstance(content, Page):
-                        node.device.read(self.hierarchy.page_size,
-                                         sequential=not node.persistent)
+                        read_with_retry(node.device, self.hierarchy.page_size,
+                                        sequential=not node.persistent)
                         self.store.write_page(content)
                     self._emit(EventType.WRITE_BACK, page_id, tier=Tier.SSD,
                                src=node.tier, dirty=True)
                     node.pool.remove(descriptor)
                     shared.detach(node.tier)
+                    if stale_tier is not None:
+                        stale_desc = shared.copy_on(stale_tier)
+                        if stale_desc is not None:
+                            self._emit(EventType.CLEAN_DROP, page_id,
+                                       tier=stale_tier)
+                            self.chain.node(stale_tier).pool.remove(stale_desc)
+                            shared.detach(stale_tier)
         else:
             # Clean pages need no write-back (the SSD copy is valid,
             # §3.3), but they are still *considered* for admission below:
@@ -209,7 +231,8 @@ class SpaceManager:
         page_id = content.page_id
         with shared.latched(node.tier, lower.tier):
             lower_desc = shared.copy_on(lower.tier)
-            node.device.read(self.hierarchy.page_size, sequential=True)
+            read_with_retry(node.device, self.hierarchy.page_size,
+                            sequential=True)
             self._cpu(self.hierarchy.cpu_costs.copy_ns(self.hierarchy.page_size))
             if lower_desc is not None:
                 lower_desc.content.copy_from(content)

@@ -5,16 +5,36 @@ All pages are born on SSD (the paper: "Initially, a newly-allocated
 page's content; buffered copies on DRAM/NVM may be newer until written
 back.  A crash-simulation hook drops nothing here (SSD is persistent)
 — volatile state is dropped by the buffer manager's ``crash()``.
+
+For fault-injection runs the store can additionally maintain a CRC32
+checksum per written page (:meth:`enable_checksums`), letting recovery
+*detect* a torn page write instead of trusting its LSN.  Checksumming
+is off by default so benchmark runs pay nothing for it; the
+:class:`~repro.faults.crash.CrashController` switches it on when a
+fault plan is active.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import threading
+import zlib
 
 from ..hardware.device import Device
 from ..hardware.specs import PAGE_SIZE
 from ..pages.page import Page, PageId
+from .devio import read_with_retry, write_with_retry
+
+
+def page_content_checksum(records: dict[int, bytes]) -> int:
+    """CRC32 over a canonical (slot-sorted, length-prefixed) encoding."""
+    crc = 0
+    for slot in sorted(records):
+        payload = records[slot]
+        crc = zlib.crc32(f"{slot}:{len(payload)}:".encode("ascii"), crc)
+        crc = zlib.crc32(payload, crc)
+    return crc & 0xFFFFFFFF
 
 
 class SsdStore:
@@ -26,6 +46,18 @@ class SsdStore:
         self._pages: dict[PageId, Page] = {}
         self._next_id = itertools.count()
         self._lock = threading.Lock()
+        #: Checksum of each page's intended content at its last write
+        #: (only maintained once :meth:`enable_checksums` was called).
+        self._checksums: dict[PageId, int] = {}
+        self._checksums_enabled = False
+        #: Identity and pre-write content of the most recent page write,
+        #: kept so a crash can tear that write (unwritten sectors retain
+        #: their previous bytes — the media-prefix model).
+        self._last_written: PageId | None = None
+        self._last_shadow: dict[int, bytes] | None = None
+        #: Observer called with the number of torn pages a verify/heal
+        #: pass detected (wired to the fault metrics registry).
+        self.on_torn = None
 
     # ------------------------------------------------------------------
     def allocate(self, page_id: PageId | None = None) -> Page:
@@ -70,7 +102,7 @@ class SsdStore:
                 page = self._pages[page_id]
             except KeyError:
                 raise KeyError(f"page {page_id} does not exist on SSD") from None
-        self.device.read(self.page_size)
+        read_with_retry(self.device, self.page_size)
         return page
 
     def write_page(self, page: Page, sequential: bool = False) -> None:
@@ -79,8 +111,124 @@ class SsdStore:
             durable = self._pages.get(page.page_id)
             if durable is None:
                 raise KeyError(f"page {page.page_id} does not exist on SSD")
+            if self._checksums_enabled:
+                self._last_written = page.page_id
+                self._last_shadow = dict(durable.records)
+                self._checksums[page.page_id] = page_content_checksum(
+                    page.records)
         durable.copy_from(page)
-        self.device.write(self.page_size, sequential=sequential)
+        write_with_retry(self.device, self.page_size, sequential=sequential)
+
+    # ------------------------------------------------------------------
+    # Torn-write detection (fault-injection runs)
+    # ------------------------------------------------------------------
+    def enable_checksums(self) -> None:
+        """Start checksumming page writes (lazy: off for benchmarks)."""
+        self._checksums_enabled = True
+
+    @property
+    def checksums_enabled(self) -> bool:
+        return self._checksums_enabled
+
+    def verify(self, page_id: PageId) -> bool:
+        """True when the durable content matches its recorded checksum.
+
+        Pages written before checksumming was enabled (or never written
+        back at all) carry no checksum and are accepted.
+        """
+        with self._lock:
+            expected = self._checksums.get(page_id)
+            if expected is None:
+                return True
+            page = self._pages.get(page_id)
+            if page is None:
+                return True
+            return page_content_checksum(page.records) == expected
+
+    def torn_page_ids(self) -> list[PageId]:
+        """Every checksummed page whose durable content fails to verify."""
+        with self._lock:
+            checked = list(self._checksums)
+        return [pid for pid in checked if not self.verify(pid)]
+
+    def tear_last_write(self, fraction: float = 0.5) -> PageId:
+        """Tear the most recent page write (crash-coupled hazard).
+
+        Models a power failure mid-write at media granularity: only a
+        prefix of the page's sectors persisted the new content; the
+        remaining sectors retain their *previous* bytes (they were never
+        rewritten).  By the slot-ordered media-prefix model, the first
+        ``ceil(slots * fraction)`` slots keep the new content and the
+        rest revert to the pre-write shadow.  The recorded checksum is
+        the intended full write's, so :meth:`verify` now fails for this
+        page.  Returns the torn page id, or ``-1`` when no tracked write
+        exists.
+        """
+        with self._lock:
+            page_id = self._last_written
+            shadow = self._last_shadow
+            if page_id is None or shadow is None:
+                return -1
+            page = self._pages.get(page_id)
+            if page is None:
+                return -1
+            new_slots = sorted(page.records)
+            survivors = set(new_slots[:math.ceil(len(new_slots) * fraction)])
+            for slot in new_slots:
+                if slot in survivors:
+                    continue
+                if slot in shadow:
+                    page.records[slot] = shadow[slot]
+                else:
+                    del page.records[slot]
+            # Old slots the new write deleted reappear past the torn
+            # prefix: their sectors were never overwritten.
+            for slot, payload in shadow.items():
+                if slot not in page.records and slot not in survivors:
+                    page.records[slot] = payload
+            self._last_written = None
+            self._last_shadow = None
+            return page_id
+
+    def refresh_checksums(self, page_ids) -> None:
+        """Re-stamp checksums after a legitimate in-place durable mutation.
+
+        Recovery's redo/undo passes apply log images directly to durable
+        page copies (they bypass :meth:`write_page`); without a re-stamp
+        those pages would fail verification on the *next* recovery pass
+        and be spuriously healed.  Pages without a recorded checksum are
+        left unchecksummed.
+        """
+        with self._lock:
+            for page_id in page_ids:
+                if page_id in self._checksums:
+                    page = self._pages.get(page_id)
+                    if page is not None:
+                        self._checksums[page_id] = page_content_checksum(
+                            page.records)
+
+    def heal_torn_pages(self) -> list[PageId]:
+        """Reset torn pages so redo rebuilds them from the log.
+
+        A torn page's LSN field (in the surviving prefix) claims the
+        write completed; recovery must not trust it.  Healing resets the
+        durable copy's LSN to 0, so the redo pass re-applies every
+        retained log record for the page — checkpointing guarantees the
+        retained log covers everything since the page's last complete
+        write-back.  Returns the healed page ids.
+        """
+        torn = self.torn_page_ids()
+        with self._lock:
+            for page_id in torn:
+                page = self._pages.get(page_id)
+                if page is not None:
+                    page.lsn = 0
+                # The recorded checksum described the write that tore;
+                # drop it so a second recovery pass is a no-op.
+                self._checksums.pop(page_id, None)
+        if torn and self.on_torn is not None:
+            self.on_torn(len(torn))
+        return torn
 
     def peek(self, page_id: PageId) -> Page | None:
         """Durable copy without charging I/O (tests/recovery inspection)."""

@@ -15,6 +15,7 @@ from typing import Any, Callable
 
 from ..core.buffer_manager import BufferManager, BufferManagerConfig
 from ..core.policy import MigrationPolicy
+from ..faults.crash import CrashController, CrashReport
 from ..hardware.cost_model import StorageHierarchy
 from ..hardware.specs import Tier
 from ..txn.mvto import MvtoStore
@@ -60,10 +61,15 @@ class StorageEngine:
         self.log: LogManager | None = (
             LogManager(hierarchy) if self.config.enable_wal else None
         )
+        if self.log is not None:
+            # WAL rule: checkpoint flushes and dirty evictions must not
+            # persist a page ahead of its log records (steal policy).
+            self.bm.wal_guard = self.log.ensure_durable
         self.checkpointer: Checkpointer | None = None
         if self.config.enable_wal and self.config.enable_checkpoints:
             self.checkpointer = Checkpointer(
-                self.bm, self.log, self.config.checkpoint_interval_ops
+                self.bm, self.log, self.config.checkpoint_interval_ops,
+                oldest_active_lsn=self._oldest_active_lsn,
             )
         self.tables: dict[str, Table] = {}
         #: Per-transaction undo chains (records newest-last).
@@ -268,14 +274,42 @@ class StorageEngine:
         if self.checkpointer is not None:
             self.checkpointer.note_operation(is_write=True)
 
+    def _oldest_active_lsn(self) -> int | None:
+        """First logged LSN of the oldest in-flight transaction.
+
+        Bounds checkpoint log truncation: an active transaction's
+        records must survive (its stolen effects may already be on
+        durable pages, and crash-undo needs the before-images).
+        """
+        with self._txn_records_lock:
+            first_lsns = [
+                chain[0].lsn
+                for chain in self._txn_records.values() if chain
+            ]
+        return min(first_lsns) if first_lsns else None
+
     # ------------------------------------------------------------------
     # Crash / recovery integration
     # ------------------------------------------------------------------
-    def simulate_crash(self) -> None:
-        """Drop all volatile state (DRAM buffer, mapping table, MVTO)."""
-        self.bm.simulate_crash()
-        if self.log is not None:
-            self.log.simulate_crash()
+    def crash_controller(self, handle=None) -> CrashController:
+        """The unified crash semantics for this engine."""
+        return CrashController.for_engine(self, handle=handle)
+
+    def simulate_crash(self) -> CrashReport:
+        """Drop all volatile state (DRAM buffer, mapping table, MVTO).
+
+        Thin wrapper over :class:`~repro.faults.crash.CrashController`
+        — the single crash implementation shared with the crash-point
+        matrix.
+        """
+        return self.crash_controller().crash()
+
+    def drop_volatile_runtime(self) -> None:
+        """Reset engine-level volatile state (MVTO store, undo chains).
+
+        Called by the crash controller after the buffer manager and log
+        have dropped their volatile state.
+        """
         self.mvto = MvtoStore()
         with self._txn_records_lock:
             self._txn_records.clear()

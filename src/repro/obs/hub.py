@@ -49,9 +49,21 @@ class MetricsHub:
     """Derives registry metrics from one buffer manager's event stream."""
 
     def __init__(self, registry: MetricsRegistry | None = None,
-                 epoch_ns: float = DEFAULT_EPOCH_NS) -> None:
+                 epoch_ns: float = DEFAULT_EPOCH_NS,
+                 fault_source=None) -> None:
         self.registry = registry or MetricsRegistry()
         self.epoch_ns = float(epoch_ns)
+        #: Optional fault-injection source (an object exposing a
+        #: ``registry`` of ``faults_injected_total`` /
+        #: ``device_retries_total`` / ``torn_writes_detected_total``
+        #: counters — typically a
+        #: :class:`~repro.faults.injector.InjectionHandle`).  Its
+        #: snapshot merges into this hub's registry at finalize, so the
+        #: Prometheus/JSONL exporters see fault counters with no extra
+        #: plumbing.  When not given, :meth:`attach` picks up the handle
+        #: :func:`~repro.faults.injector.inject_faults` stashed on the
+        #: buffer manager's hierarchy.
+        self.fault_source = fault_source
         #: One record per epoch tick: sim time plus per-tier occupancy
         #: and dirty ratios — the time series behind "how did the DRAM
         #: dirty ratio evolve before the checkpoint?".
@@ -130,6 +142,8 @@ class MetricsHub:
         self._op_start = None
         self._cur_hist = None
         self._finalized = False
+        if self.fault_source is None:
+            self.fault_source = getattr(bm.hierarchy, "fault_handle", None)
         self._next_epoch = self._cost.total_ns + self.epoch_ns
         self._bus = bm.events
         self._bus.subscribe(self)
@@ -157,6 +171,12 @@ class MetricsHub:
             self._cur_hist = None
         if self._chain is not None:
             self._sample_epoch(now)
+        source = self.fault_source
+        if source is not None:
+            # One-shot by construction: finalize runs once per window
+            # (guarded by ``_finalized``), so fault counters merge
+            # exactly once into this hub's registry.
+            self.registry.merge_snapshot(source.registry.snapshot())
 
     # ------------------------------------------------------------------
     # Bus protocol

@@ -39,6 +39,7 @@ class Checkpointer:
         log_manager: LogManager | None = None,
         interval_ops: int = 2000,
         truncate_log: bool = True,
+        oldest_active_lsn=None,
     ) -> None:
         if interval_ops <= 0:
             raise ValueError("interval_ops must be positive")
@@ -46,6 +47,13 @@ class Checkpointer:
         self.log = log_manager
         self.interval_ops = interval_ops
         self.truncate_log = truncate_log
+        #: Optional callable returning the first LSN of the oldest
+        #: still-active transaction (or ``None`` when no transaction is
+        #: in flight).  Truncation must not discard an active
+        #: transaction's records: its uncommitted effects may already
+        #: sit on durable pages (steal), and undoing them after a crash
+        #: needs the before-images.
+        self.oldest_active_lsn = oldest_active_lsn
         self.keeper = CheckpointRecordKeeper()
         self._ops_since = 0
         self.pages_flushed = 0
@@ -80,8 +88,15 @@ class Checkpointer:
             self.log.flush()
             if self.truncate_log:
                 # Records before the checkpoint begin are no longer needed
-                # for redo: every page they touched is durable.
-                self.log.truncate_before(begin_lsn)
+                # for redo: every page they touched is durable.  Undo is
+                # the other constraint — keep everything from the oldest
+                # active transaction's first record.
+                cutoff = begin_lsn
+                if self.oldest_active_lsn is not None:
+                    oldest = self.oldest_active_lsn()
+                    if oldest is not None:
+                        cutoff = min(cutoff, oldest)
+                self.log.truncate_before(cutoff)
         self.keeper.checkpoints.append((begin_lsn, end_lsn))
         self.checkpoints_taken += 1
         return flushed

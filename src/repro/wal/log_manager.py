@@ -17,9 +17,11 @@ paper's write-heavy experiments surface.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 
+from ..core.devio import write_with_retry
 from ..hardware.cost_model import StorageHierarchy
 from ..hardware.specs import Tier
 from .records import LogRecord, LogRecordType
@@ -34,6 +36,12 @@ class LogStats:
     nvm_buffer_drains: int = 0
     group_commits: int = 0
     forced_flushes: int = 0
+    #: Group flushes forced by the WAL rule: a page carrying an LSN was
+    #: about to reach durable media ahead of its log records.
+    wal_guard_flushes: int = 0
+    #: Records dropped by the recovery scan because their checksum did
+    #: not verify (torn/corrupt tail truncation).
+    torn_records_dropped: int = 0
 
 
 class LogManager:
@@ -70,6 +78,14 @@ class LogManager:
         #: Volatile group-commit batch (DRAM-SSD mode only).
         self._pending_group: list[LogRecord] = []
         self._pending_bytes = 0
+        #: Observer called (inside the append lock) with each record
+        #: just after it is staged/persisted.  Used by the crash-point
+        #: enumerator to mark WAL-append boundaries; must not re-enter
+        #: the log manager.
+        self.on_append = None
+        #: Observer called with the number of records the recovery scan
+        #: truncated because their checksum failed to verify.
+        self.on_torn = None
 
     # ------------------------------------------------------------------
     @property
@@ -111,7 +127,7 @@ class LogManager:
                 before=before,
                 after=after,
                 undo_next_lsn=undo_next_lsn,
-            )
+            ).with_checksum()
             self._next_lsn += 1
             self.stats.records_appended += 1
             self.stats.bytes_appended += record.size_bytes()
@@ -119,13 +135,15 @@ class LogManager:
                 self._append_nvm(record)
             else:
                 self._append_grouped(record)
+            if self.on_append is not None:
+                self.on_append(record)
             return record
 
     def _append_nvm(self, record: LogRecord) -> None:
         """Persist the record in the NVM log buffer (§3.2's direct path)."""
         device = self.hierarchy.device(Tier.NVM)
         size = record.size_bytes()
-        device.write(size, sequential=True)
+        write_with_retry(device, size, sequential=True)
         device.persist_barrier()
         self._nvm_buffer.append(record)
         self._nvm_buffer_used += size
@@ -137,7 +155,7 @@ class LogManager:
         if not self._nvm_buffer:
             return
         ssd = self.hierarchy.device(Tier.SSD)
-        ssd.write(self._nvm_buffer_used, sequential=True)
+        write_with_retry(ssd, self._nvm_buffer_used, sequential=True)
         self._durable.extend(self._nvm_buffer)
         self._nvm_buffer.clear()
         self._nvm_buffer_used = 0
@@ -146,7 +164,8 @@ class LogManager:
     def _append_grouped(self, record: LogRecord) -> None:
         """Stage the record in the volatile DRAM group-commit batch."""
         if self.hierarchy.has_tier(Tier.DRAM):
-            self.hierarchy.device(Tier.DRAM).write(record.size_bytes())
+            write_with_retry(self.hierarchy.device(Tier.DRAM),
+                             record.size_bytes())
         self._pending_group.append(record)
         self._pending_bytes += record.size_bytes()
 
@@ -176,7 +195,7 @@ class LogManager:
         if not self._pending_group:
             return
         ssd = self.hierarchy.device(Tier.SSD)
-        ssd.write(self._pending_bytes, sequential=True)
+        write_with_retry(ssd, self._pending_bytes, sequential=True)
         self._durable.extend(self._pending_group)
         self._pending_group.clear()
         self._pending_bytes = 0
@@ -190,6 +209,27 @@ class LogManager:
                 self._drain_nvm_buffer()
             else:
                 self._flush_group()
+
+    def ensure_durable(self, lsn: int) -> None:
+        """The WAL rule (log-before-data): make the log durable through
+        ``lsn`` before a page carrying that LSN reaches durable media.
+
+        NVM-backed logs persist every record at append time, so this
+        only ever flushes the volatile DRAM group-commit batch — and
+        only when the batch actually holds records at or below ``lsn``
+        (a checkpoint or eviction stealing a page dirtied by an
+        in-flight transaction).  Without the barrier such a page would
+        carry effects the post-crash log cannot redo *or* undo.
+        """
+        if lsn <= 0:
+            return
+        with self._lock:
+            if self.uses_nvm or not self._pending_group:
+                return
+            if self._durable and self._durable[-1].lsn >= lsn:
+                return
+            self.stats.wal_guard_flushes += 1
+            self._flush_group()
 
     # ------------------------------------------------------------------
     # Crash / recovery support
@@ -208,16 +248,91 @@ class LogManager:
             self._pending_bytes = 0
             return lost
 
+    def _durable_tail(self) -> tuple[list[LogRecord], int] | None:
+        """The durable list holding the tail record, and its index.
+
+        With NVM, the most recent durable record sits at the end of the
+        NVM log buffer (if non-empty); otherwise at the end of the SSD
+        log.  Returns ``None`` when nothing durable exists yet.
+        """
+        if self.uses_nvm and self._nvm_buffer:
+            return self._nvm_buffer, len(self._nvm_buffer) - 1
+        if self._durable:
+            return self._durable, len(self._durable) - 1
+        return None
+
+    def corrupt_tail(self) -> LogRecord | None:
+        """Tear the most recent durable record (crash-coupled hazard).
+
+        Models a torn write: the record is still present on media but
+        only a prefix of its chunks persisted, so its stored checksum no
+        longer matches its payload.  Returns the (now corrupt) record,
+        or ``None`` if nothing durable exists.
+        """
+        with self._lock:
+            tail = self._durable_tail()
+            if tail is None:
+                return None
+            store, index = tail
+            record = store[index]
+            bad = (record.compute_checksum() ^ 0xA5A5A5A5) or 1
+            corrupt = dataclasses.replace(record, checksum=bad)
+            store[index] = corrupt
+            return corrupt
+
+    def drop_tail(self) -> LogRecord | None:
+        """Erase the most recent durable record (dropped persist).
+
+        Models a write acknowledged to the caller that never reached
+        durable media before power failed.  Returns the dropped record,
+        or ``None`` if nothing durable exists.
+        """
+        with self._lock:
+            tail = self._durable_tail()
+            if tail is None:
+                return None
+            store, index = tail
+            record = store.pop(index)
+            if store is self._nvm_buffer:
+                self._nvm_buffer_used -= record.size_bytes()
+            return record
+
+    def _verify_scan(self) -> None:
+        """Truncate ``_durable`` from the first checksum failure on.
+
+        Must be called with the lock held and the NVM buffer already
+        drained.  A torn record invalidates everything after it — with
+        a corrupt record in the middle of the log the tail cannot be
+        trusted, exactly like a real sequential log scan.
+        """
+        for index, record in enumerate(self._durable):
+            if not record.verify():
+                dropped = len(self._durable) - index
+                del self._durable[index:]
+                self.stats.torn_records_dropped += dropped
+                if self.on_torn is not None:
+                    self.on_torn(dropped)
+                break
+
     def recovered_records(self) -> list[LogRecord]:
-        """All records a recovery run can see, in LSN order.
+        """All *valid* records a recovery run can see, in LSN order.
 
         Per §5.2, recovery first appends the (persistent) NVM log buffer
-        to the log file; this accessor performs that step.
+        to the log file; this accessor performs that step.  The scan then
+        verifies each record's checksum and truncates the log at the
+        first failure — a torn tail shortens the log instead of feeding
+        garbage to the recovery manager.
         """
         with self._lock:
             if self.uses_nvm:
                 self._drain_nvm_buffer()
+            self._verify_scan()
             return list(self._durable)
+
+    def verified_durable_lsn(self) -> int:
+        """Highest LSN that is durable *and* passes checksum verification."""
+        records = self.recovered_records()
+        return records[-1].lsn if records else 0
 
     def records_for_txn(self, txn_id: int) -> list[LogRecord]:
         return [r for r in self.recovered_records() if r.txn_id == txn_id]

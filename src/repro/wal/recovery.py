@@ -31,6 +31,9 @@ class RecoveryReport:
 
     recovered_nvm_pages: int = 0
     log_records_scanned: int = 0
+    #: Pages whose durable content failed checksum verification (torn
+    #: page writes) and were reset so redo rebuilds them from the log.
+    torn_pages_healed: int = 0
     winners: set[int] = field(default_factory=set)
     losers: set[int] = field(default_factory=set)
     redo_applied: int = 0
@@ -51,15 +54,24 @@ class RecoveryManager:
         report = RecoveryReport()
         # Step 1: reconstruct the mapping table from the NVM buffer.
         report.recovered_nvm_pages = self.bm.recover_mapping_table()
-        # Step 2: complete the log from the persistent NVM log buffer.
+        # Step 1b: detect torn page writes by checksum and reset them so
+        # the redo pass rebuilds their content from the retained log.
+        report.torn_pages_healed = len(self.bm.store.heal_torn_pages())
+        # Step 2: complete the log from the persistent NVM log buffer
+        # (the scan checksum-verifies records and truncates a torn tail).
         records = self.log.recovered_records()
         report.log_records_scanned = len(records)
         # Step 3: analysis.
         self._analysis(records, report)
         # Step 4a: redo winners.
-        self._redo(records, report)
+        touched: set[int] = set()
+        self._redo(records, report, touched)
         # Step 4b: undo losers.
-        self._undo(records, report)
+        self._undo(records, report, touched)
+        # Redo/undo mutate durable copies in place; re-stamp their
+        # checksums so a later recovery pass doesn't mistake the
+        # legitimate mutations for torn writes.
+        self.bm.store.refresh_checksums(touched)
         return report
 
     # ------------------------------------------------------------------
@@ -91,7 +103,8 @@ class RecoveryManager:
                 return nvm_desc.content
         return self.bm.store.peek(page_id)
 
-    def _redo(self, records: list[LogRecord], report: RecoveryReport) -> None:
+    def _redo(self, records: list[LogRecord], report: RecoveryReport,
+              touched: set[int]) -> None:
         for record in records:
             if not record.is_redoable or record.txn_id not in report.winners:
                 continue
@@ -104,8 +117,10 @@ class RecoveryManager:
             self._apply_image(page, record, record.after)
             page.lsn = record.lsn
             report.redo_applied += 1
+            touched.add(record.page_id)
 
-    def _undo(self, records: list[LogRecord], report: RecoveryReport) -> None:
+    def _undo(self, records: list[LogRecord], report: RecoveryReport,
+              touched: set[int]) -> None:
         for record in reversed(records):
             if not record.is_undoable or record.txn_id not in report.losers:
                 continue
@@ -113,6 +128,7 @@ class RecoveryManager:
             if page is not None:
                 self._apply_image(page, record, record.before)
                 report.undo_applied += 1
+                touched.add(record.page_id)
             clr = self.log.append(
                 LogRecordType.CLR,
                 txn_id=record.txn_id,

@@ -34,3 +34,31 @@ class TestRunning:
         assert main(["table1", "--out", str(tmp_path)]) == 0
         payload = json.loads((tmp_path / "table1.json").read_text())
         assert payload["experiment_id"] == "table1"
+
+
+class TestChaos:
+    def test_chaos_runs_and_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "chaos.json"
+        assert main(["chaos", "--seed", "1", "--policies", "DRAM_SSD",
+                     "--out", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "all invariants held: OK" in text
+        report = json.loads(out_path.read_text())
+        assert report["ok"] is True
+        assert report["policies"] == ["DRAM_SSD"]
+        assert report["seeds"] == [1]
+        assert report["total_cases"] == len(report["cases"])
+        assert report["failures"] == []
+
+    def test_chaos_report_is_jobs_invariant(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        args = ["chaos", "--seed", "1", "--policies", "DRAM_SSD",
+                "--no-tail-faults"]
+        assert main(args + ["--jobs", "1", "--out", str(serial)]) == 0
+        assert main(args + ["--jobs", "2", "--out", str(parallel)]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_chaos_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--policies", "NO_SUCH_POLICY"])

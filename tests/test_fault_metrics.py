@@ -1,0 +1,113 @@
+"""Fault counters through the observability stack.
+
+``faults_injected_total``, ``device_retries_total``, and
+``torn_writes_detected_total`` live in the injection handle's own
+registry; a :class:`~repro.obs.hub.MetricsHub` attached to the same
+buffer manager must pick them up automatically (via the handle stashed
+on the hierarchy) and the Prometheus exposition must render them
+byte-deterministically for a fixed plan.
+"""
+
+from repro.core.buffer_manager import BufferManager
+from repro.core.policy import SPITFIRE_LAZY
+from repro.faults.injector import inject_faults
+from repro.faults.plan import FaultPlan, FaultSchedule
+from repro.hardware.cost_model import StorageHierarchy
+from repro.hardware.pricing import HierarchyShape
+from repro.hardware.specs import SimulationScale
+from repro.obs.export import prometheus_text, snapshot_jsonl_lines
+from repro.obs.hub import MetricsHub
+
+SCALE = SimulationScale(pages_per_gb=8)
+
+#: Errors on early SSD read indices: the warm-up misses hit them.
+PLAN = FaultPlan(schedules={
+    "ssd": FaultSchedule(read_errors=frozenset(range(0, 12, 2))),
+})
+
+
+def run_instrumented(plan=PLAN):
+    """One seeded buffer-manager window with injection + hub attached."""
+    hierarchy = StorageHierarchy(HierarchyShape(1.0, 2.0, 100.0), SCALE)
+    handle = inject_faults(hierarchy, plan)
+    bm = BufferManager(hierarchy, SPITFIRE_LAZY)
+    for page_id in range(8):
+        bm.allocate_page(page_id)
+    hub = MetricsHub().attach(bm)
+    for page_id in range(8):
+        bm.read(page_id, 0, 256)
+    hub.detach()
+    return hub, handle
+
+
+class TestHubPickup:
+    def test_hub_discovers_handle_from_hierarchy(self):
+        hub, handle = run_instrumented()
+        assert hub.fault_source is handle
+
+    def test_fault_counters_merge_into_hub_registry(self):
+        hub, handle = run_instrumented()
+        assert handle.faults_injected() > 0
+        names = {series.name for series in hub.registry.series()}
+        assert "faults_injected_total" in names
+        assert "device_retries_total" in names
+        assert "torn_writes_detected_total" in names
+
+    def test_merged_values_match_handle(self):
+        hub, handle = run_instrumented()
+        injected = sum(
+            s.value for s in hub.registry.series()
+            if s.name == "faults_injected_total")
+        retries = sum(
+            s.value for s in hub.registry.series()
+            if s.name == "device_retries_total")
+        assert injected == handle.faults_injected()
+        assert retries == handle.retries()
+        assert injected == retries  # every transient was absorbed
+
+    def test_torn_detections_count(self):
+        hub, handle = run_instrumented()
+        handle.note_torn_detected(3)
+        torn = [s for s in handle.registry.series()
+                if s.name == "torn_writes_detected_total"]
+        assert torn and torn[0].value == 3
+
+    def test_merge_is_one_shot(self):
+        """finalize() may run more than once (detach after an explicit
+        finalize); fault counters must merge exactly once."""
+        hierarchy = StorageHierarchy(HierarchyShape(1.0, 2.0, 100.0), SCALE)
+        handle = inject_faults(hierarchy, PLAN)
+        bm = BufferManager(hierarchy, SPITFIRE_LAZY)
+        for page_id in range(8):
+            bm.allocate_page(page_id)
+        hub = MetricsHub().attach(bm)
+        for page_id in range(8):
+            bm.read(page_id, 0, 256)
+        hub.finalize()
+        hub.finalize()
+        hub.detach()
+        injected = sum(
+            s.value for s in hub.registry.series()
+            if s.name == "faults_injected_total")
+        assert injected == handle.faults_injected()
+
+
+class TestPrometheusDeterminism:
+    def test_same_plan_same_bytes(self):
+        first_hub, _ = run_instrumented()
+        second_hub, _ = run_instrumented()
+        assert (prometheus_text(first_hub.registry)
+                == prometheus_text(second_hub.registry))
+
+    def test_exposition_carries_fault_series(self):
+        hub, _ = run_instrumented()
+        text = prometheus_text(hub.registry)
+        assert 'faults_injected_total{kind="read_error",tier="ssd"}' in text
+        assert 'device_retries_total{tier="ssd"}' in text
+        assert "torn_writes_detected_total" in text
+
+    def test_jsonl_lines_are_deterministic(self):
+        first_hub, _ = run_instrumented()
+        second_hub, _ = run_instrumented()
+        assert (snapshot_jsonl_lines(first_hub.snapshot(), "cell")
+                == snapshot_jsonl_lines(second_hub.snapshot(), "cell"))
