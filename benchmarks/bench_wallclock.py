@@ -13,6 +13,11 @@ Two measurements, written to ``BENCH_repro.json`` next to this script
   per-operation overhead of the tier chain + event bus + cost model
   with every cache effect warmed away; hot-path regressions show up
   here first.
+* **batched inner-loop ops/sec** — the same reads through
+  ``BufferManager.read_batch`` in struct-of-arrays chunks (skipped when
+  numpy is unavailable).  The batch path is byte-identical to the
+  per-op loop, so the only thing this measures is the vectorization
+  win; the ratchet requires it to stay ≥ ``--min-batch-speedup``×.
 * **metrics overhead** — the same cell once without observability (the
   detached baseline) and once with a
   :class:`~repro.obs.hub.MetricsHub` attached.  The perf-smoke guard
@@ -26,16 +31,24 @@ Both use fixed seeds, so reruns on one machine are comparable; numbers
 across machines are not (and the simulated throughputs inside the cell
 are machine-independent by design — only the wall clock varies).
 
+``--check`` turns the report into a CI ratchet: the fresh inner-loop
+numbers are compared against the committed ``BENCH_repro.json`` and the
+run fails on a regression beyond ``--tolerance``; improvements update
+the baseline in place (commit the new file to raise the bar).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py
     PYTHONPATH=src python benchmarks/bench_wallclock.py --jobs 4
     PYTHONPATH=src python benchmarks/bench_wallclock.py --metrics-out out/
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --check
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --profile-out prof/
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import platform
 import time
@@ -43,6 +56,7 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.bench.executor import QUICK, Cell, run_cell, run_cells
+from repro.np_compat import HAVE_NUMPY, np
 from repro.core.buffer_manager import BufferManager, BufferManagerConfig
 from repro.core.policy import SPITFIRE_LAZY
 from repro.hardware.cost_model import StorageHierarchy
@@ -62,6 +76,10 @@ DB_GB = 100.0
 
 INNER_LOOP_PAGES = 200
 INNER_LOOP_OPS = 100_000
+INNER_LOOP_BATCH = 1024
+
+#: Floor on the batched/per-op inner-loop speedup the ratchet enforces.
+MIN_BATCH_SPEEDUP = 5.0
 
 
 def bench_cell() -> Cell:
@@ -166,12 +184,17 @@ def time_cells_parallel(jobs: int, cells: int) -> dict:
     }
 
 
-def time_inner_loop(repeats: int) -> dict:
+def _inner_loop_bm() -> BufferManager:
     hierarchy = StorageHierarchy(SHAPE)
     bm = BufferManager(hierarchy, SPITFIRE_LAZY, BufferManagerConfig(seed=42))
     bm.allocate_pages(range(INNER_LOOP_PAGES))
     for page_id in range(INNER_LOOP_PAGES):
         bm.prime_page(Tier.DRAM, page_id)
+    return bm
+
+
+def time_inner_loop(repeats: int) -> dict:
+    bm = _inner_loop_bm()
     best = None
     for _ in range(repeats):
         t0 = time.perf_counter()
@@ -185,6 +208,90 @@ def time_inner_loop(repeats: int) -> dict:
         "best_wall_seconds": round(best, 4),
         "ops_per_second": round(INNER_LOOP_OPS / best, 1),
     }
+
+
+def time_inner_loop_batched(repeats: int, per_op_ops_per_second: float,
+                            profile_out: str | None = None) -> dict | None:
+    """The same access stream as :func:`time_inner_loop`, batched.
+
+    Chunks of ``INNER_LOOP_BATCH`` precomputed (page id, offset) columns
+    go through ``BufferManager.read_batch``; the resulting stats and
+    costs match the per-op loop exactly, so the ops/s ratio is a pure
+    measurement of the batch path's vectorization win.  Returns None
+    when numpy is unavailable (the batch path degrades to per-op).
+    """
+    if not HAVE_NUMPY:
+        return None
+    bm = _inner_loop_bm()
+    read_batch = bm.read_batch
+    chunks = []
+    for start in range(0, INNER_LOOP_OPS, INNER_LOOP_BATCH):
+        n = min(INNER_LOOP_BATCH, INNER_LOOP_OPS - start)
+        page_ids = (np.arange(start, start + n, dtype=np.int64)
+                    % INNER_LOOP_PAGES)
+        chunks.append((page_ids, np.zeros(n, dtype=np.int64)))
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for page_ids, offsets in chunks:
+            read_batch(page_ids, offsets)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None or elapsed < best else best
+    if profile_out:
+        out = Path(profile_out)
+        out.mkdir(parents=True, exist_ok=True)
+        for name, body in (
+            ("inner_loop_batched", lambda: [read_batch(p, o)
+                                            for p, o in chunks]),
+            ("inner_loop_per_op", lambda: [bm.read(i % INNER_LOOP_PAGES)
+                                           for i in range(INNER_LOOP_OPS)]),
+        ):
+            profiler = cProfile.Profile()
+            profiler.enable()
+            body()
+            profiler.disable()
+            profiler.dump_stats(out / f"{name}.prof")
+    ops_per_second = INNER_LOOP_OPS / best
+    return {
+        "operations": INNER_LOOP_OPS,
+        "batch_size": INNER_LOOP_BATCH,
+        "repeats": repeats,
+        "best_wall_seconds": round(best, 4),
+        "ops_per_second": round(ops_per_second, 1),
+        "speedup_vs_per_op": round(ops_per_second / per_op_ops_per_second, 2),
+    }
+
+
+def check_ratchet(report: dict, baseline_path: Path,
+                  tolerance: float, min_batch_speedup: float) -> list[str]:
+    """Compare fresh inner-loop numbers against the committed baseline.
+
+    Returns ratchet violations (empty when the run passes).  A missing
+    baseline passes — the freshly written report becomes the baseline.
+    """
+    violations: list[str] = []
+    batched = report.get("inner_loop_batched")
+    if batched is not None and batched["speedup_vs_per_op"] < min_batch_speedup:
+        violations.append(
+            f"batched inner loop is only {batched['speedup_vs_per_op']:.2f}x "
+            f"the per-op loop (floor: {min_batch_speedup:.1f}x)"
+        )
+    if not baseline_path.exists():
+        return violations
+    baseline = json.loads(baseline_path.read_text())
+    checks = [("inner_loop", "per-op inner loop")]
+    if batched is not None and baseline.get("inner_loop_batched"):
+        checks.append(("inner_loop_batched", "batched inner loop"))
+    for key, what in checks:
+        old = baseline[key]["ops_per_second"]
+        new = report[key]["ops_per_second"]
+        if new < old * (1.0 - tolerance):
+            violations.append(
+                f"{what} regressed {1.0 - new / old:.1%}: "
+                f"{new:,.0f} ops/s vs baseline {old:,.0f} "
+                f"(tolerance {tolerance:.0%})"
+            )
+    return violations
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -204,26 +311,58 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics-out", metavar="DIR",
                         help="also write the attached cell's metrics as "
                              "Prometheus text + JSONL under DIR")
+    parser.add_argument("--check", action="store_true",
+                        help="ratchet mode: fail on inner-loop regression "
+                             "beyond --tolerance vs the committed baseline; "
+                             "improvements update the baseline in place")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="max fractional inner-loop regression --check "
+                             "accepts (default: 0.10)")
+    parser.add_argument("--min-batch-speedup", type=float,
+                        default=MIN_BATCH_SPEEDUP, metavar="X",
+                        help="floor on the batched/per-op speedup --check "
+                             f"enforces (default: {MIN_BATCH_SPEEDUP})")
+    parser.add_argument("--profile-out", metavar="DIR",
+                        help="dump cProfile stats of the per-op and batched "
+                             "inner loops under DIR")
     args = parser.parse_args(argv)
 
     metrics_report, violations = time_cell_metrics(
         args.overhead_budget, args.metrics_out
     )
+    inner = time_inner_loop(args.repeats)
+    inner_batched = time_inner_loop_batched(
+        args.repeats, inner["ops_per_second"], args.profile_out
+    )
     report = {
         "benchmark": "bench_wallclock",
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "inner_loop": time_inner_loop(args.repeats),
+        "inner_loop": inner,
         "cell": time_cell_serial(),
         "cell_with_metrics": metrics_report,
     }
+    if inner_batched is not None:
+        report["inner_loop_batched"] = inner_batched
     if args.jobs > 1:
         report["parallel"] = time_cells_parallel(args.jobs, args.jobs)
 
     out = Path(args.out)
-    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    ratchet_violations: list[str] = []
+    if args.check:
+        ratchet_violations = check_ratchet(
+            report, out, args.tolerance, args.min_batch_speedup
+        )
     print(json.dumps(report, indent=2, sort_keys=True))
-    print(f"\nwrote {out}")
+    if args.check and ratchet_violations:
+        # A failing ratchet keeps the committed baseline untouched so the
+        # bar does not silently lower itself.
+        print(f"kept existing baseline {out}")
+    else:
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {out}")
+    violations.extend(ratchet_violations)
     for violation in violations:
         print(f"PERF GUARD FAILED: {violation}")
     return 1 if violations else 0

@@ -21,11 +21,20 @@ device is wrapped in a pure-delegation
 proves the fault-injection layer costs nothing when disabled: the
 wrappers perturb neither the cost model nor the measured figures.
 
+``--with-batching`` regenerates with every cell driven through the
+columnar batch path at batch size 1024
+(:func:`~repro.bench.executor.batch_execution`).  Byte-identity here is
+the batch path's core contract: batched execution changes wall-clock
+time and nothing else.  The flags compose — ``--with-batching
+--with-metrics --with-faults-disabled`` proves the contract holds with
+observers attached and fault wrappers installed.
+
 Usage::
 
     python benchmarks/check_golden_figures.py            # fig6 + fig7
     python benchmarks/check_golden_figures.py fig6 --jobs 4 --with-metrics
     python benchmarks/check_golden_figures.py --with-faults-disabled
+    python benchmarks/check_golden_figures.py --with-batching
 """
 
 from __future__ import annotations
@@ -48,8 +57,14 @@ RESULTS_DIR = Path(__file__).parent / "results"
 DEFAULT_EXPERIMENTS = ("fig6", "fig7")
 
 
+#: Batch size ``--with-batching`` drives cells at; large enough that a
+#: measurement window spans only a handful of batches.
+BATCHING_BATCH_SIZE = 1024
+
+
 def check(experiment_id: str, jobs: int, with_metrics: bool = False,
-          with_faults_disabled: bool = False) -> bool:
+          with_faults_disabled: bool = False,
+          with_batching: bool = False) -> bool:
     golden = RESULTS_DIR / f"{experiment_id}.json"
     if not golden.exists():
         print(f"FAIL {experiment_id}: no archived result at {golden}")
@@ -62,7 +77,12 @@ def check(experiment_id: str, jobs: int, with_metrics: bool = False,
         from repro.faults.plan import FaultPlan
 
         fault_scope = fault_plan_injection(FaultPlan.none())
-    with scope as sink, fault_scope:
+    batch_scope = contextlib.nullcontext()
+    if with_batching:
+        from repro.bench.executor import batch_execution
+
+        batch_scope = batch_execution(BATCHING_BATCH_SIZE)
+    with scope as sink, fault_scope, batch_scope:
         result = REGISTRY[experiment_id](quick=True, jobs=jobs)
     with tempfile.TemporaryDirectory() as tmp:
         fresh = result.save_json(tmp)
@@ -72,6 +92,8 @@ def check(experiment_id: str, jobs: int, with_metrics: bool = False,
     mode = f", metrics attached to {len(sink)} cells" if with_metrics else ""
     if with_faults_disabled:
         mode += ", no-op fault wrappers installed"
+    if with_batching:
+        mode += f", batched at {BATCHING_BATCH_SIZE}"
     if fresh_bytes == golden_bytes:
         print(f"OK   {experiment_id}: byte-identical to {golden} "
               f"({len(golden_bytes)} bytes, {elapsed:.1f}s{mode})")
@@ -114,6 +136,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="install a no-op FaultPlan (pure-delegation "
                              "device wrappers) in every cell; the JSON must "
                              "stay byte-identical")
+    parser.add_argument("--with-batching", action="store_true",
+                        help="drive every cell through the columnar batch "
+                             f"path at batch size {BATCHING_BATCH_SIZE}; the "
+                             "JSON must stay byte-identical")
     args = parser.parse_args(argv)
 
     unknown = [e for e in args.experiments if e not in REGISTRY]
@@ -122,7 +148,8 @@ def main(argv: list[str] | None = None) -> int:
     failures = [
         e for e in args.experiments
         if not check(e, args.jobs, with_metrics=args.with_metrics,
-                     with_faults_disabled=args.with_faults_disabled)
+                     with_faults_disabled=args.with_faults_disabled,
+                     with_batching=args.with_batching)
     ]
     return 1 if failures else 0
 

@@ -46,6 +46,22 @@ class EventTraceRecorder:
         self.apply_event(event.type, event.page_id, event.tier, event.src,
                          event.dirty)
 
+    def apply_op_batch(self, summary) -> None:
+        """Bus batch path: bulk-add the counts of a fast-path run.
+
+        Mirrors ``summary.count`` per-op sequences of
+        OP_READ → HIT@tier [→ DIRECT_READ@tier].
+        """
+        count = summary.count
+        counts = self.counts
+        tier_name = summary.tier.name
+        counts["op_read"] = counts.get("op_read", 0) + count
+        hit_key = f"hit@{tier_name}"
+        counts[hit_key] = counts.get(hit_key, 0) + count
+        if summary.direct:
+            direct_key = f"direct_read@{tier_name}"
+            counts[direct_key] = counts.get(direct_key, 0) + count
+
     def apply_event(self, etype, page_id, tier, src, dirty) -> None:
         """Bus fast path: aggregate straight from the event fields, so an
         attached recorder keeps the bus on its no-allocation path."""

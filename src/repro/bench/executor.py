@@ -119,6 +119,10 @@ class Cell:
     #: forced on for every cell while :func:`metrics_collection` is
     #: active (the CLI's ``--metrics-out`` path).
     collect_metrics: bool = False
+    #: Operations per batch through the columnar batch path (1 = the
+    #: legacy per-op loop).  Overridden for every cell while
+    #: :func:`batch_execution` is active.
+    batch_size: int = 1
 
     # ------------------------------------------------------------------
     @classmethod
@@ -215,6 +219,45 @@ def _record_result(cell: Cell, result: RunResult) -> None:
 
 
 # ----------------------------------------------------------------------
+# Session-wide batch execution
+# ----------------------------------------------------------------------
+#: Environment override for every cell's batch size.  An env var (not a
+#: module global) so it survives into process-pool workers under both
+#: fork and spawn start methods.
+BATCH_ENV = "REPRO_BATCH_SIZE"
+
+
+def active_batch_size() -> int | None:
+    """The batch-size override carried by the environment, or None."""
+    payload = os.environ.get(BATCH_ENV)
+    if not payload:
+        return None
+    return int(payload)
+
+
+@contextlib.contextmanager
+def batch_execution(batch_size: int):
+    """Run every cell in this scope through the batch path.
+
+    The batch path is byte-identical to the per-op loop by construction,
+    so wrapping a figure run in ``batch_execution(1024)`` changes only
+    wall-clock time — ``check_golden_figures.py --with-batching`` uses
+    exactly this to enforce that contract.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    previous = os.environ.get(BATCH_ENV)
+    os.environ[BATCH_ENV] = str(batch_size)
+    try:
+        yield batch_size
+    finally:
+        if previous is None:
+            os.environ.pop(BATCH_ENV, None)
+        else:
+            os.environ[BATCH_ENV] = previous
+
+
+# ----------------------------------------------------------------------
 # Session-wide fault-plan injection
 # ----------------------------------------------------------------------
 #: Environment payload carrying a pickled FaultPlan into pool workers.
@@ -280,6 +323,7 @@ def run_cell(cell: Cell) -> RunResult:
             with_wal=cell.with_wal,
             trace_events=cell.trace_events,
             collect_metrics=cell.collect_metrics or metrics_collected(),
+            batch_size=active_batch_size() or cell.batch_size,
         ),
     )
     spec = cell.workload

@@ -62,6 +62,12 @@ class RunConfig:
     metrics_epoch_ns: float = DEFAULT_EPOCH_NS
     #: Fraction of pages traced by the page-lifecycle tracer (0 = off).
     trace_page_fraction: float = 0.0
+    #: Operations executed per batch through the columnar batch path.
+    #: ``1`` (the default) runs the legacy per-op loop; ``N > 1`` drives
+    #: :class:`~repro.core.batch_path.BatchAccessPath`, which is
+    #: byte-identical to the per-op loop by construction (stats, costs,
+    #: metrics, and figure JSON all match).
+    batch_size: int = 1
 
 
 @dataclass
@@ -163,6 +169,77 @@ class WorkloadRunner:
         return False
 
     # ------------------------------------------------------------------
+    # Batched operation execution (RunConfig.batch_size > 1)
+    # ------------------------------------------------------------------
+    def run_ycsb_batch(self, workload: YcsbWorkload, count: int) -> int:
+        """Execute ``count`` YCSB operations through the batch path.
+
+        Reads between writes execute as columnar runs; each write (and
+        its WAL/checkpoint tail) runs at its original position, so the
+        operation schedule — and therefore every charge, event, and RNG
+        draw — matches ``count`` calls of :meth:`run_ycsb_op` exactly.
+        Returns the number of writes executed.
+        """
+        batch = workload.next_ops(count)
+        page_ids = batch.page_ids
+        offsets = batch.offsets
+        is_writes = batch.is_writes
+        if hasattr(page_ids, "tolist"):
+            page_ids = page_ids.tolist()
+            offsets = offsets.tolist()
+            is_writes = is_writes.tolist()
+        read_batch = self.bm.batch_path.read_batch
+        writes = 0
+        i = 0
+        while i < count:
+            if is_writes[i]:
+                page_id = page_ids[i]
+                self.bm.write(page_id, offsets[i], COLUMN_SIZE)
+                self._charge_update_wal(page_id)
+                writes += 1
+                i += 1
+                continue
+            j = i + 1
+            while j < count and not is_writes[j]:
+                j += 1
+            read_batch(page_ids[i:j], offsets[i:j], TUPLE_SIZE)
+            i = j
+        return writes
+
+    def run_access_batch(self, accesses) -> int:
+        """Execute a row-ordered sequence of page accesses batched.
+
+        Contiguous reads of one size over existing pages form columnar
+        runs; writes and first-touch allocations run per-op in place.
+        Returns the number of writes executed.
+        """
+        read_batch = self.bm.batch_path.read_batch
+        page_exists = self.bm.page_exists
+        writes = 0
+        n = len(accesses)
+        i = 0
+        while i < n:
+            access = accesses[i]
+            if access.is_write or not page_exists(access.page_id):
+                if self.run_access(access):
+                    writes += 1
+                i += 1
+                continue
+            size = access.nbytes
+            j = i + 1
+            while (
+                j < n
+                and not accesses[j].is_write
+                and accesses[j].nbytes == size
+                and page_exists(accesses[j].page_id)
+            ):
+                j += 1
+            run = accesses[i:j]
+            read_batch([a.page_id for a in run], [a.offset for a in run], size)
+            i = j
+        return writes
+
+    # ------------------------------------------------------------------
     # Full measurement protocol
     # ------------------------------------------------------------------
     def measure_ycsb(self, workload: YcsbWorkload, label: str | None = None,
@@ -174,6 +251,7 @@ class WorkloadRunner:
             step=lambda: self.run_ycsb_op(workload),
             label=label or workload.mix.name,
             extra_worker_counts=extra_worker_counts,
+            batch_step=lambda count: self.run_ycsb_batch(workload, count),
         )
 
     def measure_tpcc(self, workload: TpccWorkload, label: str = "TPC-C",
@@ -186,6 +264,9 @@ class WorkloadRunner:
             step=lambda: self.run_access(next(stream)),
             label=label,
             extra_worker_counts=extra_worker_counts,
+            batch_step=lambda count: self.run_access_batch(
+                [next(stream) for _ in range(count)]
+            ),
         )
 
     def _prime(self, ranked_pages: list[int]) -> None:
@@ -245,13 +326,26 @@ class WorkloadRunner:
             step=lambda: self.run_access(next(iterator)),
             label=label,
             extra_worker_counts=extra_worker_counts,
+            batch_step=lambda count: self.run_access_batch(
+                [next(iterator) for _ in range(count)]
+            ),
         )
 
     def _measure(self, step, label: str,
-                 extra_worker_counts: tuple[int, ...]) -> RunResult:
+                 extra_worker_counts: tuple[int, ...],
+                 batch_step=None) -> RunResult:
         config = self.config
-        for _ in range(config.warmup_ops):
-            step()
+        batch_size = max(1, config.batch_size)
+        use_batch = batch_step is not None and batch_size > 1
+        if use_batch:
+            remaining = config.warmup_ops
+            while remaining > 0:
+                chunk = min(batch_size, remaining)
+                batch_step(chunk)
+                remaining -= chunk
+        else:
+            for _ in range(config.warmup_ops):
+                step()
         # Warm-up traffic does not count toward the measurement (§6.1:
         # "we warm up the system until the buffer pool is full").
         self.hierarchy.reset_accounting()
@@ -274,10 +368,26 @@ class WorkloadRunner:
                 tracer.attach(self.bm)
 
             sample_every = max(1, config.inclusivity_sample_every)
-            for index in range(config.measure_ops):
-                step()
-                if (index + 1) % sample_every == 0:
-                    self.bm.sample_inclusivity()
+            if use_batch:
+                # Chunks never straddle a sampling point, so inclusivity
+                # samples land after the same operation indexes as the
+                # per-op loop above.
+                done = 0
+                while done < config.measure_ops:
+                    chunk = min(
+                        batch_size,
+                        config.measure_ops - done,
+                        sample_every - (done % sample_every),
+                    )
+                    batch_step(chunk)
+                    done += chunk
+                    if done % sample_every == 0:
+                        self.bm.sample_inclusivity()
+            else:
+                for index in range(config.measure_ops):
+                    step()
+                    if (index + 1) % sample_every == 0:
+                        self.bm.sample_inclusivity()
             if self.bm.inclusivity.num_samples == 0:
                 self.bm.sample_inclusivity()
         finally:

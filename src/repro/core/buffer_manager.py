@@ -50,6 +50,7 @@ from ..pages.mini_page import MINI_PAGE_BYTES
 from ..pages.page import PageId
 from .access_path import AccessPath, AccessResult
 from .admission import AdmissionQueue, recommended_queue_size
+from .batch_path import BatchAccessPath
 from .descriptors import TierPageDescriptor
 from .events import EventBus, StatsProjector
 from .fine_grained import FineGrainedOps
@@ -176,6 +177,10 @@ class BufferManager:
         self.space.bind(self.fine_grained, self.flush_engine)
         self.flush_engine.bind(self.space)
         self.access_path.bind(self.space, self.fine_grained)
+        #: Columnar batch executor over the access path (vectorized
+        #: top-tier read hits, per-op fallback for everything else).
+        self.batch_path = BatchAccessPath(self.access_path, self.chain,
+                                          hierarchy, self.events, self.config)
 
     # ------------------------------------------------------------------
     # Policy management
@@ -262,6 +267,15 @@ class BufferManager:
               nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
         """Serve an in-place update of ``nbytes`` at ``offset``."""
         return self.access_path.access(page_id, offset, nbytes, is_write=True)
+
+    def read_batch(self, page_ids, offsets, nbytes: int = CACHE_LINE_SIZE) -> None:
+        """Serve a batch of uniform-size reads in op order.
+
+        Contiguous top-tier hits execute vectorized; all other ops fall
+        back to the per-op walk.  State, statistics, costs, and events
+        are identical to issuing the same :meth:`read` calls one by one.
+        """
+        self.batch_path.read_batch(page_ids, offsets, nbytes)
 
     # ------------------------------------------------------------------
     # Engine-facing pinned access

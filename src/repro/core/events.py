@@ -102,6 +102,48 @@ class BufferEvent:
 EventHandler = Callable[[BufferEvent], None]
 
 
+class OpBatchSummary:
+    """Columnar summary of one contiguous run of fast-path operations.
+
+    The batch access path executes runs of top-tier read hits as array
+    operations instead of per-op calls; subscribers that implement
+    ``apply_op_batch`` receive one summary per run and must update their
+    state exactly as ``count`` per-op event sequences
+    (``OP_READ`` → ``HIT`` [→ ``DIRECT_READ``]) would have.
+
+    ``base_fp`` is the accumulator's fixed-point total just before the
+    run's first charge and ``latency_fp`` the per-op charge vector, so
+    latency observers can reconstruct the exact per-op cost brackets a
+    sequential run would have measured.
+    """
+
+    __slots__ = ("count", "tier", "direct", "page_ids", "base_fp", "latency_fp")
+
+    def __init__(
+        self,
+        count: int,
+        tier: Tier,
+        direct: bool,
+        page_ids,
+        base_fp: int,
+        latency_fp,
+    ) -> None:
+        self.count = count
+        self.tier = tier
+        #: True when the hits were served in place on a persistent top
+        #: tier (the per-op path would have emitted DIRECT_READ events).
+        self.direct = direct
+        self.page_ids = page_ids
+        self.base_fp = base_fp
+        self.latency_fp = latency_fp
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"OpBatchSummary(count={self.count}, tier={self.tier.name}, "
+            f"direct={self.direct})"
+        )
+
+
 class EventBus:
     """A minimal synchronous publish/subscribe hub.
 
@@ -112,13 +154,17 @@ class EventBus:
     iterations over the current tuple.
     """
 
-    __slots__ = ("_handlers", "_fast_appliers", "_mutate_lock")
+    __slots__ = ("_handlers", "_fast_appliers", "_batch_appliers", "_mutate_lock")
 
     def __init__(self) -> None:
         self._handlers: tuple[EventHandler, ...] = ()
         #: Bound ``apply_event`` methods of every handler, or ``None``
         #: when at least one handler only accepts built events.
         self._fast_appliers: tuple[Callable, ...] | None = ()
+        #: Bound ``apply_op_batch`` methods of every handler, or ``None``
+        #: when at least one handler cannot consume batch summaries —
+        #: the batch access path then falls back to per-op execution.
+        self._batch_appliers: tuple[Callable, ...] | None = ()
         self._mutate_lock = threading.Lock()
 
     def subscribe(self, handler: EventHandler) -> EventHandler:
@@ -156,18 +202,39 @@ class EventBus:
         """True while every subscriber supports positional fast dispatch."""
         return self._fast_appliers is not None
 
+    @property
+    def batch_path_active(self) -> bool:
+        """True while every subscriber can consume batch summaries.
+
+        The batch access path checks this before vectorising a run; any
+        subscriber without ``apply_op_batch`` (an adaptive controller, a
+        test's bare callable) transparently forces per-op execution so
+        no observer ever misses events.
+        """
+        return self._batch_appliers is not None
+
     def _rebuild(self, handlers: tuple[EventHandler, ...]) -> None:
-        """Swap in a new handler tuple and recompute the fast path."""
+        """Swap in a new handler tuple and recompute the fast paths."""
         appliers = []
+        batch_appliers = []
         for handler in handlers:
             apply = getattr(handler, "apply_event", None)
             if apply is None:
+                self._batch_appliers = None
                 self._fast_appliers = None
                 self._handlers = handlers
                 return
             appliers.append(apply)
+            apply_batch = getattr(handler, "apply_op_batch", None)
+            if apply_batch is None:
+                batch_appliers = None
+            elif batch_appliers is not None:
+                batch_appliers.append(apply_batch)
         # Publish the appliers before the handler tuple so a concurrent
         # publish() never pairs new appliers with missing handlers.
+        self._batch_appliers = (
+            tuple(batch_appliers) if batch_appliers is not None else None
+        )
         self._fast_appliers = tuple(appliers)
         self._handlers = handlers
 
@@ -192,6 +259,20 @@ class EventBus:
         event = BufferEvent(type, page_id, tier, src, dirty)
         for handler in self._handlers:
             handler(event)
+
+    def publish_op_batch(self, summary: OpBatchSummary) -> None:
+        """Fan one batch summary out to every subscriber.
+
+        Only valid while :attr:`batch_path_active`; the batch access
+        path guarantees that by re-checking before every run.
+        """
+        appliers = self._batch_appliers
+        if appliers is None:
+            raise RuntimeError(
+                "publish_op_batch called while a subscriber lacks apply_op_batch"
+            )
+        for apply in appliers:
+            apply(summary)
 
     @property
     def num_subscribers(self) -> int:
@@ -222,6 +303,24 @@ class StatsProjector:
     def __call__(self, event: BufferEvent) -> None:
         self.apply_event(event.type, event.page_id, event.tier, event.src,
                          event.dirty)
+
+    def apply_op_batch(self, summary: OpBatchSummary) -> None:
+        """Batched projection of a run of top-tier read hits.
+
+        Equivalent to ``summary.count`` repetitions of the per-op event
+        sequence OP_READ → HIT(tier) [→ DIRECT_READ(tier)].
+        """
+        stats = self._owner.stats
+        count = summary.count
+        tier = summary.tier
+        stats.reads += count
+        self.hits_by_tier[tier] = self.hits_by_tier.get(tier, 0) + count
+        if tier is Tier.DRAM:
+            stats.dram_hits += count
+        elif tier is Tier.NVM:
+            stats.nvm_hits += count
+        if summary.direct and tier is Tier.NVM:
+            stats.nvm_direct_reads += count
 
     def apply_event(self, etype: EventType, page_id: PageId,
                     tier: Tier | None, src: Tier | None,

@@ -157,6 +157,9 @@ class InclusivityTracker:
     def observe_event(self, event) -> None:
         self(event)
 
+    def apply_op_batch(self, summary) -> None:
+        """Bus batch path: fast-path runs contain no migrations."""
+
     def apply_event(self, etype, page_id, tier, src, dirty) -> None:
         """Bus fast path: count migrations without building an event."""
         if etype is EventType.MIGRATE_UP:

@@ -65,6 +65,16 @@ class BufferPool:
             self.replacer.record_access(descriptor.frame_index)
         return descriptor
 
+    def probe(self, page_id: PageId) -> TierPageDescriptor | None:
+        """Lock-free lookup without touching the replacement state.
+
+        The batch path classifies a whole run of operations with probes
+        before executing them; replacement-state touches are then
+        replayed in op order so CLOCK/LRU bookkeeping matches a per-op
+        run exactly.
+        """
+        return self._by_page.get(page_id)
+
     def peek(self, page_id: PageId) -> TierPageDescriptor | None:
         """Lookup without touching the replacement state."""
         with self.lock:

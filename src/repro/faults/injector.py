@@ -132,6 +132,51 @@ class FaultyDevice:
                         CostAccumulator.CPU, schedule.spike_ns)
         return self.delegate.read(nbytes, sequential)
 
+    @property
+    def supports_batch_reads(self) -> bool:
+        """Whether a batched read preserves this wrapper's semantics.
+
+        With no schedule the wrapper is pure delegation.  With a
+        schedule that never faults reads, only the read index must
+        advance — :meth:`read_batch` handles that.  Scheduled read
+        errors/spikes depend on the exact per-op index and sim time, so
+        the batch path must fall back to per-op reads.
+        """
+        schedule = self.schedule
+        return schedule is None or (
+            not schedule.read_errors and not schedule.read_spikes
+        )
+
+    def read_batch(self, nbytes, count: int | None = None,
+                   sequential: bool = False):
+        """Batched read: advance the fault index in bulk, then delegate.
+
+        Only valid when :attr:`supports_batch_reads` is true (the batch
+        path checks); per-op index accounting then reduces to one bump.
+        """
+        n = int(count) if count is not None else len(nbytes)
+        schedule = self.schedule
+        if schedule is not None:
+            with self._lock:
+                self._read_index += n
+        return self.delegate.read_batch(nbytes, count=count,
+                                        sequential=sequential)
+
+    def write_batch(self, nbytes, count: int | None = None,
+                    sequential: bool = False):
+        """Batched write for schedules that never fault writes."""
+        schedule = self.schedule
+        if schedule is not None:
+            if schedule.write_errors or schedule.write_spikes:
+                raise RuntimeError(
+                    "write_batch is not valid with scheduled write faults"
+                )
+            n = int(count) if count is not None else len(nbytes)
+            with self._lock:
+                self._write_index += n
+        return self.delegate.write_batch(nbytes, count=count,
+                                         sequential=sequential)
+
     def write(self, nbytes: int, sequential: bool = False) -> float:
         schedule = self.schedule
         if schedule is not None:

@@ -12,12 +12,49 @@ workers the makespan of a batch of operations is at least the total
 serialised work divided by ``W`` and at least the busy time of the most
 loaded shared resource.  The paper's multi-threaded results are
 device-bound (SSD or NVM bandwidth), which this model captures.
+
+Accounting is fixed-point: every charge is quantised to integer units of
+``2**-FP_SHIFT`` nanoseconds at the moment it is made, and all
+accumulation is integer addition.  Integer addition is associative, so a
+batched charge (one reduction over a whole array of per-op costs) lands
+on exactly the same total as the equivalent sequence of per-op charges —
+the property the columnar batch path's byte-identity guarantee rests on.
+Floats only appear at the read-out edge (``busy_ns``, ``total_ns``), and
+those conversions are exact as long as a single accumulator stays below
+2**53 fixed-point units (≈ 8.6 simulated seconds at the default shift).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+
+from ..np_compat import np
+
+#: Fixed-point resolution: charges are integer multiples of 2**-20 ns.
+FP_SHIFT = 20
+FP_SCALE = 1 << FP_SHIFT
+
+
+def to_fp(service_ns: float) -> int:
+    """Quantise nanoseconds to fixed-point units (round half to even).
+
+    ``round()`` on a float and :func:`numpy.rint` both round half to
+    even, so scalar and vectorised quantisation agree element for
+    element — another identity the batch path depends on.
+    """
+    return round(service_ns * FP_SCALE)
+
+
+def to_fp_array(service_ns_array):
+    """Vectorised :func:`to_fp` over a numpy array (int64 result)."""
+    return np.rint(
+        np.asarray(service_ns_array, dtype=np.float64) * FP_SCALE
+    ).astype(np.int64)
+
+
+def fp_to_ns(fp: int) -> float:
+    """Fixed-point units back to (float) nanoseconds."""
+    return fp / FP_SCALE
 
 
 class SimClock:
@@ -25,28 +62,29 @@ class SimClock:
 
     The clock is advanced explicitly (e.g. by the cost model or by the
     adaptive controller's epoch logic).  It is thread-safe so that the
-    genuinely multi-threaded tests can share one clock.
+    genuinely multi-threaded tests can share one clock.  Time is stored
+    in fixed-point units so repeated advances cannot drift.
     """
 
     def __init__(self, start_ns: int = 0) -> None:
-        self._now_ns = float(start_ns)
+        self._now_fp = to_fp(start_ns)
         self._lock = threading.Lock()
 
     @property
     def now_ns(self) -> float:
-        return self._now_ns
+        return self._now_fp / FP_SCALE
 
     @property
     def now_s(self) -> float:
-        return self._now_ns / 1e9
+        return self._now_fp / FP_SCALE / 1e9
 
     def advance(self, delta_ns: float) -> float:
         """Advance the clock by ``delta_ns`` and return the new time."""
         if delta_ns < 0:
             raise ValueError("cannot advance the clock backwards")
         with self._lock:
-            self._now_ns += delta_ns
-            return self._now_ns
+            self._now_fp += to_fp(delta_ns)
+            return self._now_fp / FP_SCALE
 
     def advance_to(self, target_ns: float) -> float:
         """Advance the clock to ``target_ns`` if that is in the future.
@@ -54,42 +92,88 @@ class SimClock:
         Unlike :meth:`advance`, a target in the past is a no-op rather
         than an error — epoch samplers race benignly for the same tick.
         """
+        target_fp = to_fp(target_ns)
         with self._lock:
-            if target_ns > self._now_ns:
-                self._now_ns = float(target_ns)
-            return self._now_ns
+            if target_fp > self._now_fp:
+                self._now_fp = target_fp
+            return self._now_fp / FP_SCALE
 
     def reset(self) -> None:
         with self._lock:
-            self._now_ns = 0.0
+            self._now_fp = 0
 
 
-@dataclass
 class ResourceUsage:
-    """Accumulated service demand for a single shared resource."""
+    """Accumulated service demand for a single shared resource.
 
-    busy_ns: float = 0.0
-    operations: int = 0
-    bytes_moved: int = 0
+    Busy time is held as an integer fixed-point tally (``busy_fp``);
+    ``busy_ns`` is a derived float view for reports and JSON.
+    """
+
+    __slots__ = ("busy_fp", "operations", "bytes_moved")
+
+    def __init__(
+        self,
+        busy_ns: float = 0.0,
+        operations: int = 0,
+        bytes_moved: int = 0,
+        *,
+        busy_fp: int | None = None,
+    ) -> None:
+        self.busy_fp = to_fp(busy_ns) if busy_fp is None else busy_fp
+        self.operations = operations
+        self.bytes_moved = bytes_moved
+
+    @property
+    def busy_ns(self) -> float:
+        return self.busy_fp / FP_SCALE
 
     def charge(self, service_ns: float, nbytes: int = 0) -> None:
-        self.busy_ns += service_ns
+        self.busy_fp += to_fp(service_ns)
         self.operations += 1
+        self.bytes_moved += nbytes
+
+    def charge_fp(self, service_fp: int, nbytes: int = 0, operations: int = 1) -> None:
+        """Charge an already-quantised amount, optionally for many ops."""
+        self.busy_fp += service_fp
+        self.operations += operations
         self.bytes_moved += nbytes
 
     def as_dict(self) -> dict[str, float | int]:
         """JSON-able form for run results and bench reports."""
         return {
-            "busy_ns": self.busy_ns,
+            "busy_ns": self.busy_fp / FP_SCALE,
             "operations": self.operations,
             "bytes_moved": self.bytes_moved,
         }
 
     def merged(self, other: "ResourceUsage") -> "ResourceUsage":
         return ResourceUsage(
-            busy_ns=self.busy_ns + other.busy_ns,
+            busy_fp=self.busy_fp + other.busy_fp,
             operations=self.operations + other.operations,
             bytes_moved=self.bytes_moved + other.bytes_moved,
+        )
+
+    def copy(self) -> "ResourceUsage":
+        return ResourceUsage(
+            busy_fp=self.busy_fp,
+            operations=self.operations,
+            bytes_moved=self.bytes_moved,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceUsage):
+            return NotImplemented
+        return (
+            self.busy_fp == other.busy_fp
+            and self.operations == other.operations
+            and self.bytes_moved == other.bytes_moved
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourceUsage(busy_ns={self.busy_ns!r}, "
+            f"operations={self.operations!r}, bytes_moved={self.bytes_moved!r})"
         )
 
 
@@ -98,14 +182,13 @@ class _CpuBatch(threading.local):
 
     ``threading.local`` keeps concurrent workers' pending charges apart
     without any locking; ``__init__`` runs once per thread.  Charges are
-    kept as a list (not a running sum) so committing them replays the
-    exact float-addition order an unbatched run would have used —
-    results stay bit-for-bit identical.
+    quantised on entry and kept as fixed-point integers, so committing
+    them in any order lands on the unbatched totals exactly.
     """
 
     def __init__(self) -> None:
         self.depth = 0
-        self.pending: list[float] = []
+        self.pending: list[int] = []
 
 
 class CostAccumulator:
@@ -122,9 +205,8 @@ class CostAccumulator:
     coalesce them into a single locked charge per operation: while a
     batch is open on the current thread, CPU charges accumulate in a
     thread-local pending list and commit when the outermost batch
-    closes.  The commit replays each charge in order, so totals,
-    operation tallies, and float rounding are bit-for-bit identical to
-    unbatched charging; only the number of lock acquisitions shrinks.
+    closes.  All tallies are fixed-point integers, so batched and
+    per-op charge orders reduce to identical totals by construction.
     """
 
     CPU = "cpu"
@@ -136,7 +218,7 @@ class CostAccumulator:
         #: Running sum of every committed charge.  Kept alongside the
         #: per-resource tallies so observability can read "simulated
         #: time so far" with a single attribute load on the hot path.
-        self._total_ns = 0.0
+        self._total_fp = 0
 
     def begin_cpu_batch(self) -> None:
         """Open a per-operation CPU batch on the current thread."""
@@ -151,14 +233,16 @@ class CostAccumulator:
             pending = batch.pending
             if pending:
                 batch.pending = []
+                total_fp = 0
+                for service_fp in pending:
+                    total_fp += service_fp
                 with self._lock:
                     usage = self._usage.get(self.CPU)
                     if usage is None:
                         usage = ResourceUsage()
                         self._usage[self.CPU] = usage
-                    for service_ns in pending:
-                        usage.charge(service_ns)
-                        self._total_ns += service_ns
+                    usage.charge_fp(total_fp, operations=len(pending))
+                    self._total_fp += total_fp
 
     def charge(self, resource: str, service_ns: float, nbytes: int = 0) -> None:
         """Charge ``service_ns`` of busy time against ``resource``."""
@@ -168,24 +252,74 @@ class CostAccumulator:
             batch = self._cpu_batch
             if batch.depth:
                 if self.CPU not in self._usage:
-                    # Reserve the slot now: makespan_ns sums resources
-                    # in dict insertion order, so the cpu slot must
-                    # appear where an unbatched run would have created
-                    # it for the float rounding to stay identical.
-                    with self._lock:
-                        self._usage.setdefault(self.CPU, ResourceUsage())
-                batch.pending.append(service_ns)
+                    # Reserve the slot now: makespan_ns sums resources in
+                    # dict insertion order, so the cpu slot must appear
+                    # where an unbatched run would have created it.
+                    self.reserve(self.CPU)
+                batch.pending.append(to_fp(service_ns))
                 return
-        self._commit(resource, service_ns, nbytes)
+        self._commit_fp(resource, to_fp(service_ns), 1, nbytes)
 
-    def _commit(self, resource: str, service_ns: float, nbytes: int) -> None:
+    def reserve(self, resource: str) -> None:
+        """Ensure ``resource`` has a slot without charging anything.
+
+        The batch path uses this to reproduce the dict insertion order a
+        per-op run would have produced (the CPU slot appears before the
+        first device slot because the lookup charge reserves it).
+        """
+        if resource not in self._usage:
+            with self._lock:
+                self._usage.setdefault(resource, ResourceUsage())
+
+    def charge_batch(self, resource: str, service_ns_array, nbytes_array=None) -> None:
+        """Columnar charge: one locked reduction over per-op cost arrays.
+
+        ``service_ns_array`` is quantised element-wise exactly as the
+        equivalent sequence of :meth:`charge` calls would have been, then
+        summed as integers — the result is identical to charging each
+        element individually, in any order.
+        """
+        if np is not None and isinstance(service_ns_array, np.ndarray):
+            fp_array = to_fp_array(service_ns_array)
+            if np.any(fp_array < 0):
+                raise ValueError("service time must be non-negative")
+            total_fp = int(fp_array.sum())
+            count = int(fp_array.size)
+        else:
+            total_fp = 0
+            count = 0
+            for service_ns in service_ns_array:
+                if service_ns < 0:
+                    raise ValueError("service time must be non-negative")
+                total_fp += to_fp(service_ns)
+                count += 1
+        nbytes = 0
+        if nbytes_array is not None:
+            nbytes = int(
+                nbytes_array.sum()
+                if np is not None and isinstance(nbytes_array, np.ndarray)
+                else sum(nbytes_array)
+            )
+        self._commit_fp(resource, total_fp, count, nbytes)
+
+    def charge_batch_fp(
+        self, resource: str, total_fp: int, operations: int, nbytes: int = 0
+    ) -> None:
+        """Charge a pre-quantised, pre-reduced batch total."""
+        if total_fp < 0:
+            raise ValueError("service time must be non-negative")
+        self._commit_fp(resource, total_fp, operations, nbytes)
+
+    def _commit_fp(
+        self, resource: str, service_fp: int, operations: int, nbytes: int
+    ) -> None:
         with self._lock:
             usage = self._usage.get(resource)
             if usage is None:
                 usage = ResourceUsage()
                 self._usage[resource] = usage
-            usage.charge(service_ns, nbytes)
-            self._total_ns += service_ns
+            usage.charge_fp(service_fp, nbytes, operations)
+            self._total_fp += service_fp
 
     @property
     def total_ns(self) -> float:
@@ -196,7 +330,12 @@ class CostAccumulator:
         with two of these reads, so it must stay O(1).  Charges still
         pending in an open CPU batch are not yet visible.
         """
-        return self._total_ns
+        return self._total_fp / FP_SCALE
+
+    @property
+    def total_fp(self) -> int:
+        """Fixed-point view of :attr:`total_ns` (exact, no rounding)."""
+        return self._total_fp
 
     def usage(self, resource: str) -> ResourceUsage:
         """Current usage for ``resource`` (zeroes if never charged)."""
@@ -204,7 +343,7 @@ class CostAccumulator:
             found = self._usage.get(resource)
             if found is None:
                 return ResourceUsage()
-            return ResourceUsage(found.busy_ns, found.operations, found.bytes_moved)
+            return found.copy()
 
     def resources(self) -> list[str]:
         with self._lock:
@@ -213,10 +352,7 @@ class CostAccumulator:
     def snapshot(self) -> dict[str, ResourceUsage]:
         """A point-in-time copy of all resource usage."""
         with self._lock:
-            return {
-                key: ResourceUsage(u.busy_ns, u.operations, u.bytes_moved)
-                for key, u in self._usage.items()
-            }
+            return {key: u.copy() for key, u in self._usage.items()}
 
     def reset(self) -> None:
         # Resets happen between operations, so no batch should be open;
@@ -225,7 +361,7 @@ class CostAccumulator:
         self._cpu_batch.pending.clear()
         with self._lock:
             self._usage.clear()
-            self._total_ns = 0.0
+            self._total_fp = 0
 
     # ------------------------------------------------------------------
     # Makespan / throughput analysis
@@ -242,13 +378,13 @@ class CostAccumulator:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         snapshot = self.snapshot()
-        total_ns = sum(u.busy_ns for u in snapshot.values())
-        per_worker = total_ns / workers
-        device_bound = max(
-            (u.busy_ns for key, u in snapshot.items() if key != self.CPU),
-            default=0.0,
+        total_fp = sum(u.busy_fp for u in snapshot.values())
+        per_worker = total_fp / FP_SCALE / workers
+        device_bound_fp = max(
+            (u.busy_fp for key, u in snapshot.items() if key != self.CPU),
+            default=0,
         )
-        return max(per_worker, device_bound)
+        return max(per_worker, device_bound_fp / FP_SCALE)
 
     def throughput(self, operations: int, workers: int = 1) -> float:
         """Operations per simulated second for the accumulated work."""
@@ -270,9 +406,9 @@ class CostAccumulator:
         for key, usage in self.snapshot().items():
             base = baseline.get(key, ResourceUsage())
             delta._usage[key] = ResourceUsage(
-                busy_ns=usage.busy_ns - base.busy_ns,
+                busy_fp=usage.busy_fp - base.busy_fp,
                 operations=usage.operations - base.operations,
                 bytes_moved=usage.bytes_moved - base.bytes_moved,
             )
-            delta._total_ns += delta._usage[key].busy_ns
+            delta._total_fp += delta._usage[key].busy_fp
         return delta

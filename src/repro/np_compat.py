@@ -1,0 +1,20 @@
+"""Optional numpy import shared by the batch-execution machinery.
+
+The columnar batch path (``core/batch_path.py``, ``Device.read_batch``,
+``Histogram.observe_batch``) vectorises with numpy when it is installed
+(the ``sci`` extra).  Without numpy every entry point degrades to the
+per-op code path, so the package keeps working — just without the
+batched speedup.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only on bare installs
+    np = None
+    HAVE_NUMPY = False
+
+__all__ = ["np", "HAVE_NUMPY"]

@@ -30,7 +30,9 @@ individual latency sample may be approximate across interleaved ops.
 from __future__ import annotations
 
 from ..core.events import EventType
+from ..hardware.simclock import FP_SCALE
 from ..hardware.specs import Tier
+from ..np_compat import np
 from .metrics import Counter, Histogram, MetricsRegistry
 
 #: Default epoch length for gauge sampling: 10 simulated milliseconds.
@@ -184,6 +186,48 @@ class MetricsHub:
     def __call__(self, event) -> None:
         self.apply_event(event.type, event.page_id, event.tier, event.src,
                          event.dirty)
+
+    def apply_op_batch(self, summary) -> None:
+        """Batched projection of a run of top-tier read hits.
+
+        Reconstructs, exactly, the per-op latency brackets a sequential
+        run would have measured: the accumulator total at the ``i``-th
+        op's OP_READ event is ``(base_fp + cumsum(latency_fp)[:i]) /
+        FP_SCALE``, and the bracket diffs are float subtractions of
+        those same values.  Epoch boundaries are found on the
+        reconstructed timeline and sampled at the same op positions a
+        per-op run would have sampled them (buffer state is unchanged by
+        fast-path reads, so the gauge values match too).
+        """
+        count = summary.count
+        base_fp = summary.base_fp
+        cum = np.cumsum(summary.latency_fp, dtype=np.int64)
+        # starts[i] == cost.total_ns as read at the i-th OP_READ event.
+        starts = np.empty(count, dtype=np.float64)
+        starts[0] = base_fp / FP_SCALE
+        if count > 1:
+            starts[1:] = (base_fp + cum[:-1]).astype(np.float64) / FP_SCALE
+        start = self._op_start
+        if start is not None:
+            # The op in flight before this run closes at the run's first
+            # OP_READ, exactly as apply_event would have closed it.
+            (self._cur_hist or self._miss_hist).observe(float(starts[0]) - start)
+        hit_hist = self._hit_hists.get(summary.tier, self._miss_hist)
+        if count > 1:
+            hit_hist.observe_batch(starts[1:] - starts[:-1])
+        self._op_start = float(starts[-1])
+        self._cur_hist = hit_hist
+        self._finalized = False
+        self._reads.inc(count)
+        counter = self._hit_counters.get(summary.tier)
+        if counter is not None:
+            counter.inc(count)
+        if float(starts[-1]) >= self._next_epoch:
+            idx = int(np.searchsorted(starts, self._next_epoch, side="left"))
+            while idx < count:
+                self._sample_epoch(float(starts[idx]))
+                nxt = int(np.searchsorted(starts, self._next_epoch, side="left"))
+                idx = nxt if nxt > idx else idx + 1
 
     def apply_event(self, etype, page_id, tier, src, dirty) -> None:
         """Fast-path projection; fields arrive positionally from the bus."""

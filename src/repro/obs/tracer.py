@@ -110,6 +110,9 @@ class PageLifecycleTracer:
         self.apply_event(event.type, event.page_id, event.tier, event.src,
                          event.dirty)
 
+    def apply_op_batch(self, summary) -> None:
+        """Bus batch path: no-op — hits are not lifecycle events."""
+
     def apply_event(self, etype, page_id, tier, src, dirty) -> None:
         """Bus fast path: one set test, then the sampling hash."""
         if etype not in LIFECYCLE_EVENTS:

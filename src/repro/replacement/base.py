@@ -32,6 +32,17 @@ class ReplacementPolicy(abc.ABC):
     def record_access(self, frame: int) -> None:
         """Note a hit on ``frame``."""
 
+    def record_access_batch(self, frames) -> None:
+        """Note hits on many frames, in order.
+
+        The default replays :meth:`record_access` per frame, which is
+        exact for any policy.  Policies whose access bookkeeping is
+        idempotent (CLOCK's reference bits) may override this with a
+        deduplicated bulk update.
+        """
+        for frame in frames:
+            self.record_access(frame)
+
     @abc.abstractmethod
     def victim(self) -> int | None:
         """Pick a frame to evict, or None when empty."""

@@ -48,6 +48,14 @@ class ClockReplacer(ReplacementPolicy):
         self._check(frame)
         self._ref_bits.set(frame)
 
+    def record_access_batch(self, frames) -> None:
+        # Setting a reference bit is idempotent and no sweep runs between
+        # the accesses of one batched run, so deduplicating frames leaves
+        # the bitmap in exactly the state a per-op replay would.
+        for frame in set(frames):
+            self._check(frame)
+            self._ref_bits.set(frame)
+
     def victim(self) -> int | None:
         """Sweep the hand until a frame with a clear reference bit is found.
 

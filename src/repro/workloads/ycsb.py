@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ..hardware.specs import PAGE_SIZE
+from ..np_compat import np
 from .zipf import ScrambledZipfianGenerator, UniformGenerator
 
 #: YCSB tuple layout from §6.1: 4 B key + 10 × 100 B columns ≈ 1 KB.
@@ -46,6 +47,69 @@ class Operation:
     @property
     def is_write(self) -> bool:
         return self.kind is OpKind.UPDATE
+
+
+class OpBatch:
+    """A struct-of-arrays batch of YCSB operations.
+
+    Columns are numpy int64/bool arrays when numpy is installed (the
+    batch access path consumes them directly) and plain lists otherwise;
+    either way they are positionally parallel and derived physical
+    columns (page id, intra-page offset, access size) are computed in
+    bulk rather than per op.
+    """
+
+    __slots__ = ("keys", "is_writes", "columns")
+
+    def __init__(self, keys, is_writes, columns) -> None:
+        if np is not None:
+            self.keys = np.asarray(keys, dtype=np.int64)
+            self.is_writes = np.asarray(is_writes, dtype=bool)
+            self.columns = np.asarray(columns, dtype=np.int64)
+        else:
+            self.keys = keys
+            self.is_writes = is_writes
+            self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def page_ids(self):
+        """Physical page of each key (bulk ``page_of``)."""
+        if np is not None:
+            return self.keys // TUPLES_PER_PAGE
+        return [key // TUPLES_PER_PAGE for key in self.keys]
+
+    @property
+    def offsets(self):
+        """Intra-page byte offset of each access (bulk ``offset_of``)."""
+        if np is not None:
+            slots = self.keys % TUPLES_PER_PAGE
+            return slots * TUPLE_SIZE + 4 + self.columns * COLUMN_SIZE
+        return [
+            (key % TUPLES_PER_PAGE) * TUPLE_SIZE + 4 + column * COLUMN_SIZE
+            for key, column in zip(self.keys, self.columns)
+        ]
+
+    @property
+    def sizes(self):
+        """Bytes touched per op: whole tuple on read, one column on update."""
+        if np is not None:
+            return np.where(self.is_writes, COLUMN_SIZE, TUPLE_SIZE)
+        return [
+            COLUMN_SIZE if is_write else TUPLE_SIZE
+            for is_write in self.is_writes
+        ]
+
+    def operations(self) -> Iterator[Operation]:
+        """Row view for per-op consumers (tests, fallback paths)."""
+        for index in range(len(self.keys)):
+            if self.is_writes[index]:
+                yield Operation(OpKind.UPDATE, int(self.keys[index]),
+                                column=int(self.columns[index]))
+            else:
+                yield Operation(OpKind.READ, int(self.keys[index]))
 
 
 @dataclass(frozen=True)
@@ -102,6 +166,30 @@ class YcsbWorkload:
     def operations(self, count: int) -> Iterator[Operation]:
         for _ in range(count):
             yield self.next_op()
+
+    def next_ops(self, count: int) -> OpBatch:
+        """``count`` operations as a struct-of-arrays batch.
+
+        Replays :meth:`next_op`'s RNG draw order exactly (key draw, mix
+        draw, column draw on updates), so a seeded workload produces the
+        same operation stream whether consumed one op or one batch at a
+        time.
+        """
+        keys: list[int] = []
+        is_writes: list[bool] = []
+        columns: list[int] = []
+        next_key = self._keys.next
+        rng = self.rng
+        read_fraction = self.mix.read_fraction
+        for _ in range(count):
+            keys.append(next_key())
+            if rng.random() < read_fraction:
+                is_writes.append(False)
+                columns.append(0)
+            else:
+                is_writes.append(True)
+                columns.append(rng.randrange(NUM_COLUMNS))
+        return OpBatch(keys, is_writes, columns)
 
     def page_popularity(self, samples: int = 30_000) -> list[int]:
         """Pages ranked hottest-first, estimated by sampling the key
