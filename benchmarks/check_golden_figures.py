@@ -29,12 +29,23 @@ time and nothing else.  The flags compose — ``--with-batching
 --with-metrics --with-faults-disabled`` proves the contract holds with
 observers attached and fault wrappers installed.
 
+``--prewarm-pool`` creates and warms the persistent worker pool
+*before* any of the scopes above are entered.  This is the adversarial
+ordering for context propagation: the workers are forked first, so
+none of the scopes can reach them by inheritance — only the explicit
+per-submission :class:`~repro.bench.executor.ExecContext` can carry
+them.  Byte-identity under ``--prewarm-pool --jobs 4`` with all three
+scopes composed is the proof that the persistent pool does not leak or
+drop execution context.
+
 Usage::
 
     python benchmarks/check_golden_figures.py            # fig6 + fig7
     python benchmarks/check_golden_figures.py fig6 --jobs 4 --with-metrics
     python benchmarks/check_golden_figures.py --with-faults-disabled
     python benchmarks/check_golden_figures.py --with-batching
+    python benchmarks/check_golden_figures.py --jobs 4 --prewarm-pool \
+        --with-metrics --with-batching --with-faults-disabled
 """
 
 from __future__ import annotations
@@ -140,11 +151,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="drive every cell through the columnar batch "
                              f"path at batch size {BATCHING_BATCH_SIZE}; the "
                              "JSON must stay byte-identical")
+    parser.add_argument("--prewarm-pool", action="store_true",
+                        help="fork and warm the persistent worker pool "
+                             "BEFORE entering any --with-* scope, so context "
+                             "can only reach workers through the explicit "
+                             "per-submission ExecContext (never fork "
+                             "inheritance)")
     args = parser.parse_args(argv)
 
     unknown = [e for e in args.experiments if e not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    if args.prewarm_pool and args.jobs > 1:
+        from repro.bench.executor import pool_info, warm_pool
+
+        warmed = warm_pool(args.jobs)
+        info = pool_info()
+        print(f"prewarmed pool: {info} (warmed={warmed})")
     failures = [
         e for e in args.experiments
         if not check(e, args.jobs, with_metrics=args.with_metrics,

@@ -1,7 +1,14 @@
 """Benchmark harness and per-figure experiment reproductions."""
 
 from .event_trace import EventTraceRecorder
-from .executor import metrics_collected, metrics_collection
+from .executor import (
+    RunSession,
+    metrics_collected,
+    metrics_collection,
+    run_session,
+    shutdown_pool,
+    warm_pool,
+)
 from .harness import RunConfig, RunResult, WorkloadRunner
 from .reporting import ExperimentResult, Series
 
@@ -10,8 +17,12 @@ __all__ = [
     "ExperimentResult",
     "RunConfig",
     "RunResult",
+    "RunSession",
     "Series",
     "WorkloadRunner",
     "metrics_collected",
     "metrics_collection",
+    "run_session",
+    "shutdown_pool",
+    "warm_pool",
 ]

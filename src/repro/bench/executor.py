@@ -1,10 +1,14 @@
-"""Parallel experiment executor: declarative cells and tasks over a pool.
+"""Parallel experiment executor: declarative cells over a persistent pool.
 
 Every figure in the paper is a grid of independent measurements — one
 buffer manager, one workload, one policy/shape/knob combination per
 point.  This module turns each grid point into a picklable :class:`Cell`
 spec and runs batches of them with :func:`run_cells`, either in-process
-(``jobs=1``) or on a :class:`concurrent.futures.ProcessPoolExecutor`.
+(``jobs=1``) or on a **session-scoped persistent worker pool**: one
+:class:`concurrent.futures.ProcessPoolExecutor` created lazily per
+process and reused by every :func:`run_cells` / :func:`run_tasks` call,
+so pool startup and worker warm-up are paid once per process instead of
+once per figure.
 
 Design rules:
 
@@ -13,11 +17,20 @@ Design rules:
   parallel run draws exactly the same RNG streams as a serial run and
   the per-figure JSON output is byte-identical for any ``jobs`` value;
 * results come back in submission order regardless of completion order;
+* work is submitted as **contiguous chunks** sized from each cell's
+  :class:`Effort` (longest-expected-first), which amortises pickling
+  and IPC over many small tasks while keeping load balanced;
+* execution scopes (:func:`metrics_collection`, :func:`batch_execution`,
+  :func:`fault_plan_injection`) travel as an explicit per-submission
+  :class:`ExecContext` value captured at submit time and installed
+  around the work inside the worker — a persistent pool outlives any
+  scope, so nothing may rely on workers inheriting parent state;
 * a failing cell raises :class:`CellExecutionError` naming the cell's
-  full spec, and never hangs the pool (remaining cells are cancelled);
+  full spec, and never hangs the pool (remaining chunks are cancelled);
 * when worker processes cannot be spawned at all (restricted sandboxes,
-  missing ``os.fork``), the batch transparently degrades to serial
-  in-process execution.
+  missing ``os.fork``) or die wholesale mid-batch, the batch
+  transparently degrades to serial in-process execution with identical
+  results.
 
 This module is imported by ``bench.experiments.common`` and must never
 import from ``bench.experiments`` (the package init pulls in every
@@ -26,10 +39,12 @@ figure module).
 
 from __future__ import annotations
 
-import base64
+import atexit
 import contextlib
-import os
+import contextvars
+import multiprocessing
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -170,22 +185,76 @@ class CellExecutionError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
-# Session-wide metrics collection
+# Execution scopes and their transport: ExecContext
 # ----------------------------------------------------------------------
-#: Environment flag that turns metrics collection on for every cell.
-#: An env var (not a module global) so it survives into process-pool
-#: workers under both fork and spawn start methods.
-METRICS_ENV = "REPRO_COLLECT_METRICS"
+# The three session scopes (metrics collection, batch execution, fault
+# injection) used to travel into pool workers as environment variables,
+# relying on workers inheriting the parent's environment at fork time.
+# A *persistent* pool breaks that scheme: workers fork once, so a scope
+# entered after the pool exists would silently not apply inside it.
+# Instead the ambient scope state lives in context variables (also
+# making scopes thread-safe for the CLI's suite session, where several
+# figure drivers run concurrently), and every submission captures it
+# into an explicit ExecContext value that the worker installs around
+# the chunk it executes.
 
-#: While :func:`metrics_collection` is active, ``run_cells`` appends
-#: ``(label, RunResult)`` per finished cell here, in submission order —
-#: the deterministic merge order for the exporters.
-_metrics_sink: list[tuple[str, RunResult]] | None = None
+_metrics_on_var: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_metrics_on", default=False)
+_metrics_sink_var: contextvars.ContextVar[list | None] = contextvars.ContextVar(
+    "repro_metrics_sink", default=None)
+_batch_size_var: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_batch_size", default=None)
+_fault_plan_var: contextvars.ContextVar[bytes | None] = contextvars.ContextVar(
+    "repro_fault_plan", default=None)
+
+
+@dataclass(frozen=True)
+class ExecContext:
+    """Ambient execution scopes, captured at submit time.
+
+    Plain picklable values: the fault plan rides pre-pickled (it is
+    pickled once per scope entry, not once per task).  ``install()``
+    makes the context ambient — inside a worker, around a whole chunk.
+    """
+
+    collect_metrics: bool = False
+    batch_size: int | None = None
+    fault_plan_payload: bytes | None = None
+
+    @property
+    def is_default(self) -> bool:
+        return self == _DEFAULT_CONTEXT
+
+    @contextlib.contextmanager
+    def install(self):
+        tokens = (
+            _metrics_on_var.set(self.collect_metrics),
+            _batch_size_var.set(self.batch_size),
+            _fault_plan_var.set(self.fault_plan_payload),
+        )
+        try:
+            yield self
+        finally:
+            _fault_plan_var.reset(tokens[2])
+            _batch_size_var.reset(tokens[1])
+            _metrics_on_var.reset(tokens[0])
+
+
+_DEFAULT_CONTEXT = ExecContext()
+
+
+def current_context() -> ExecContext:
+    """The ambient execution scopes of the calling thread."""
+    return ExecContext(
+        collect_metrics=_metrics_on_var.get(),
+        batch_size=_batch_size_var.get(),
+        fault_plan_payload=_fault_plan_var.get(),
+    )
 
 
 def metrics_collected() -> bool:
     """Whether session-wide metrics collection is currently on."""
-    return os.environ.get(METRICS_ENV) == "1"
+    return _metrics_on_var.get()
 
 
 @contextlib.contextmanager
@@ -197,42 +266,29 @@ def metrics_collection():
     order regardless of the ``jobs`` value, so merging the snapshots in
     list order gives byte-identical exports at any parallelism.
     """
-    global _metrics_sink
-    previous_sink = _metrics_sink
-    previous_env = os.environ.get(METRICS_ENV)
     sink: list[tuple[str, RunResult]] = []
-    _metrics_sink = sink
-    os.environ[METRICS_ENV] = "1"
+    on_token = _metrics_on_var.set(True)
+    sink_token = _metrics_sink_var.set(sink)
     try:
         yield sink
     finally:
-        _metrics_sink = previous_sink
-        if previous_env is None:
-            os.environ.pop(METRICS_ENV, None)
-        else:
-            os.environ[METRICS_ENV] = previous_env
+        _metrics_sink_var.reset(sink_token)
+        _metrics_on_var.reset(on_token)
 
 
-def _record_result(cell: Cell, result: RunResult) -> None:
-    if _metrics_sink is not None and result.metrics is not None:
-        _metrics_sink.append((cell.label, result))
-
-
-# ----------------------------------------------------------------------
-# Session-wide batch execution
-# ----------------------------------------------------------------------
-#: Environment override for every cell's batch size.  An env var (not a
-#: module global) so it survives into process-pool workers under both
-#: fork and spawn start methods.
-BATCH_ENV = "REPRO_BATCH_SIZE"
+def _record_results(cells, results) -> None:
+    """Append a finished batch to the metrics sink, in submission order."""
+    sink = _metrics_sink_var.get()
+    if sink is None:
+        return
+    for cell, result in zip(cells, results):
+        if result.metrics is not None:
+            sink.append((cell.label, result))
 
 
 def active_batch_size() -> int | None:
-    """The batch-size override carried by the environment, or None."""
-    payload = os.environ.get(BATCH_ENV)
-    if not payload:
-        return None
-    return int(payload)
+    """The scoped batch-size override, or None."""
+    return _batch_size_var.get()
 
 
 @contextlib.contextmanager
@@ -246,33 +302,19 @@ def batch_execution(batch_size: int):
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    previous = os.environ.get(BATCH_ENV)
-    os.environ[BATCH_ENV] = str(batch_size)
+    token = _batch_size_var.set(batch_size)
     try:
         yield batch_size
     finally:
-        if previous is None:
-            os.environ.pop(BATCH_ENV, None)
-        else:
-            os.environ[BATCH_ENV] = previous
-
-
-# ----------------------------------------------------------------------
-# Session-wide fault-plan injection
-# ----------------------------------------------------------------------
-#: Environment payload carrying a pickled FaultPlan into pool workers.
-#: Same pattern as METRICS_ENV: an env var survives into workers under
-#: both fork and spawn start methods, so every cell — local or remote —
-#: builds its hierarchy with the same plan installed.
-FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+        _batch_size_var.reset(token)
 
 
 def active_fault_plan():
-    """The FaultPlan carried by the environment, or None."""
-    payload = os.environ.get(FAULT_PLAN_ENV)
-    if not payload:
+    """The FaultPlan installed by the ambient scope, or None."""
+    payload = _fault_plan_var.get()
+    if payload is None:
         return None
-    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+    return pickle.loads(payload)
 
 
 @contextlib.contextmanager
@@ -285,23 +327,401 @@ def fault_plan_injection(plan):
     golden-figure gate uses exactly this to prove figure JSON stays
     byte-identical with the injection layer installed.
     """
-    payload = base64.b64encode(pickle.dumps(plan)).decode("ascii")
-    previous = os.environ.get(FAULT_PLAN_ENV)
-    os.environ[FAULT_PLAN_ENV] = payload
+    token = _fault_plan_var.set(pickle.dumps(plan))
     try:
         yield plan
     finally:
-        if previous is None:
-            os.environ.pop(FAULT_PLAN_ENV, None)
-        else:
-            os.environ[FAULT_PLAN_ENV] = previous
+        _fault_plan_var.reset(token)
 
 
 # ----------------------------------------------------------------------
-# Execution
+# The persistent worker pool
+# ----------------------------------------------------------------------
+#: Chunks submitted per worker per batch — enough granularity for load
+#: balancing without drowning the pool queue in single-item tasks.
+CHUNKS_PER_WORKER = 4
+
+_pool_lock = threading.Lock()
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+_pool_start_method: str | None = None
+_pool_generation = 0
+#: Batches currently collecting results from the pool (guarded by
+#: ``_pool_lock``); a pool with outstanding batches is never replaced.
+_pool_busy = 0
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the heavy modules workers will need.
+
+    Under ``fork`` the parent's imports are inherited and this is free;
+    under ``forkserver``/``spawn`` it front-loads the import cost into
+    pool startup instead of the first measured cell.
+    """
+    from .. import engine, faults  # noqa: F401
+    from ..core import batch_path, buffer_manager  # noqa: F401
+    from ..faults import injector  # noqa: F401
+    from . import harness  # noqa: F401
+
+
+def _pool_context():
+    """Pick the cheapest available start method: fork, then forkserver.
+
+    ``fork`` gives pre-warmed workers for free (they inherit the
+    parent's imported modules); ``forkserver`` isolates the fork from
+    parent threads at the cost of re-importing (which the initializer
+    front-loads); the platform default is the last resort.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "forkserver"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()
+
+
+def _ensure_pool(jobs: int) -> ProcessPoolExecutor | None:
+    """The shared pool with capacity for ``jobs``, or None if unavailable.
+
+    The pool is created lazily on first parallel batch and reused by
+    every later batch in the process.  A request for more workers than
+    the pool has grows it (replace-when-idle: an in-flight batch keeps
+    the current pool; growth happens on the next idle submission).
+    Pools never shrink.
+    """
+    global _pool, _pool_workers, _pool_start_method, _pool_generation
+    with _pool_lock:
+        if _pool is not None:
+            if _pool_workers >= jobs or _pool_busy > 0:
+                return _pool
+            _pool.shutdown(wait=True, cancel_futures=True)
+            _pool = None
+        try:
+            context = _pool_context()
+            pool = ProcessPoolExecutor(
+                max_workers=max(jobs, _pool_workers),
+                mp_context=context,
+                initializer=_warm_worker,
+            )
+        except (OSError, ValueError, NotImplementedError):
+            return None
+        _pool = pool
+        _pool_workers = max(jobs, _pool_workers)
+        _pool_start_method = context.get_start_method()
+        _pool_generation += 1
+        return _pool
+
+
+def _discard_pool() -> None:
+    """Drop a broken pool so the next batch builds a fresh one."""
+    global _pool
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+            _pool = None
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (tests / interpreter exit)."""
+    global _pool, _pool_workers, _pool_start_method
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True, cancel_futures=True)
+            _pool = None
+        _pool_workers = 0
+        _pool_start_method = None
+
+
+atexit.register(shutdown_pool)
+
+
+def pool_info() -> dict | None:
+    """Diagnostics for the live pool (None before first parallel batch)."""
+    with _pool_lock:
+        if _pool is None:
+            return None
+        return {
+            "workers": _pool_workers,
+            "start_method": _pool_start_method,
+            "generation": _pool_generation,
+        }
+
+
+def _ping() -> int:
+    import os
+
+    return os.getpid()
+
+
+def warm_pool(jobs: int) -> bool:
+    """Create the persistent pool and force all its workers to start.
+
+    Submitting ``jobs`` no-op tasks makes the executor spawn its full
+    worker complement up front, so the first measured batch runs on a
+    warm pool.  Returns False when workers cannot be spawned at all.
+    """
+    if jobs <= 1:
+        return False
+    pool = _ensure_pool(jobs)
+    if pool is None:
+        return False
+    try:
+        futures = [pool.submit(_ping) for _ in range(jobs)]
+        for future in futures:
+            future.result()
+    except BrokenProcessPool:
+        _discard_pool()
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# The shared submission engine
+# ----------------------------------------------------------------------
+class _ItemFailure(Exception):
+    """Internal: item ``index`` raised ``cause`` (first in order)."""
+
+    def __init__(self, index: int, cause: BaseException) -> None:
+        self.index = index
+        self.cause = cause
+        super().__init__(f"item {index} failed: {cause!r}")
+
+
+class _ChunkSkipped(Exception):
+    """Placeholder outcome for items after a failure in their chunk."""
+
+
+def _as_picklable(exc: BaseException) -> BaseException:
+    """Exceptions travel back as values; substitute when they can't."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _exec_chunk(runner, items: tuple, ctx: ExecContext) -> list:
+    """Worker-side entry: run one contiguous chunk under ``ctx``.
+
+    Returns one ``(ok, payload)`` pair per item.  After the first
+    failure the rest of the chunk is skipped — the parent raises at the
+    first failing index, so later outcomes would be discarded anyway.
+    """
+    out: list[tuple[bool, object]] = []
+    with ctx.install():
+        for position, item in enumerate(items):
+            try:
+                out.append((True, runner(item)))
+            except Exception as exc:
+                out.append((False, _as_picklable(exc)))
+                out.extend(
+                    (False, _ChunkSkipped())
+                    for _ in range(len(items) - position - 1)
+                )
+                break
+    return out
+
+
+def _plan_chunks(weights: list[float], jobs: int) -> list[tuple[int, int]]:
+    """Cut ``len(weights)`` items into contiguous ``[start, stop)`` spans.
+
+    Few items (up to ``jobs * CHUNKS_PER_WORKER``) stay singleton spans;
+    beyond that, spans are cut greedily so each carries roughly
+    ``total_weight / (jobs * CHUNKS_PER_WORKER)`` expected work.  The
+    returned list is in **submission order**: heaviest span first, so
+    long-running work starts while lighter spans queue behind it and no
+    straggler begins at the tail of the batch.
+    """
+    n = len(weights)
+    max_chunks = max(1, jobs) * CHUNKS_PER_WORKER
+    if n <= max_chunks:
+        spans = [(i, i + 1) for i in range(n)]
+    else:
+        target = sum(weights) / max_chunks
+        spans = []
+        start = 0
+        acc = 0.0
+        for i, weight in enumerate(weights):
+            acc += weight
+            if acc >= target:
+                spans.append((start, i + 1))
+                start = i + 1
+                acc = 0.0
+        if start < n:
+            spans.append((start, n))
+    spans.sort(key=lambda span: -sum(weights[span[0]:span[1]]))
+    return spans
+
+
+def _execute_serial(items: list, runner) -> list:
+    results = []
+    for index, item in enumerate(items):
+        try:
+            results.append(runner(item))
+        except Exception as exc:
+            raise _ItemFailure(index, exc) from exc
+    return results
+
+
+def _note_session(**counts) -> None:
+    session = _session
+    if session is not None:
+        session._note(**counts)
+
+
+def _execute(items: list, runner, jobs: int, weigh) -> list:
+    """Run ``runner`` over ``items``; results in submission order.
+
+    The one submission engine behind :func:`run_cells` and
+    :func:`run_tasks`: serial in-process for ``jobs<=1`` (or a single
+    item), otherwise chunked over the persistent pool with the ambient
+    :class:`ExecContext` attached to every chunk.  Pool-level failures
+    (cannot spawn, workers died wholesale) degrade to a serial rerun —
+    identical output, because items are self-contained and
+    deterministic.  The first failing item (in submission order) raises
+    :class:`_ItemFailure`; callers translate it.
+    """
+    n = len(items)
+    if jobs <= 1 or n <= 1:
+        _note_session(items=n, serial=1)
+        return _execute_serial(items, runner)
+    pool = _ensure_pool(jobs)
+    if pool is None:
+        _note_session(items=n, fallbacks=1)
+        return _execute_serial(items, runner)
+    ctx = current_context()
+    spans = _plan_chunks([weigh(item) for item in items], jobs)
+
+    global _pool_busy
+    with _pool_lock:
+        _pool_busy += 1
+    futures: list[tuple[int, int, object]] = []
+    try:
+        try:
+            for start, stop in spans:
+                futures.append((start, stop, pool.submit(
+                    _exec_chunk, runner, tuple(items[start:stop]), ctx)))
+        except (BrokenProcessPool, RuntimeError):
+            # RuntimeError: another thread observed the break first and
+            # the executor refuses new futures mid-shutdown.
+            for _, _, future in futures:
+                future.cancel()
+            _discard_pool()
+            _note_session(items=n, fallbacks=1)
+            return _execute_serial(items, runner)
+
+        outcomes: list = [None] * n
+        failed_at: int | None = None
+        # Collect in index order (submission order was only for the
+        # pool's scheduling): the first failing *index* must win
+        # deterministically, exactly as a serial run would fail.
+        for start, stop, future in sorted(futures, key=lambda f: f[0]):
+            if failed_at is not None:
+                future.cancel()
+                continue
+            try:
+                outcomes[start:stop] = future.result()
+            except BrokenProcessPool:
+                for _, _, other in futures:
+                    other.cancel()
+                _discard_pool()
+                _note_session(items=n, fallbacks=1)
+                return _execute_serial(items, runner)
+            except Exception as exc:
+                # A chunk-level failure outside item execution (e.g. an
+                # unpicklable return): attribute it to the chunk's head.
+                outcomes[start] = (False, exc)
+                failed_at = start
+                continue
+            for index in range(start, stop):
+                ok, _ = outcomes[index]
+                if not ok:
+                    failed_at = index
+                    break
+    finally:
+        with _pool_lock:
+            _pool_busy -= 1
+
+    _note_session(items=n, batches=1, chunks=len(spans))
+    if failed_at is not None:
+        _, cause = outcomes[failed_at]
+        raise _ItemFailure(failed_at, cause) from cause
+    return [payload for _, payload in outcomes]
+
+
+# ----------------------------------------------------------------------
+# The suite-wide run session
+# ----------------------------------------------------------------------
+@dataclass
+class RunSession:
+    """One warmed pool shared by everything run inside the scope.
+
+    ``repro-experiments --all --jobs N`` (and the chaos matrix CLI)
+    open one session for the whole suite: the pool starts and warms
+    once, then every figure's cells and every crash case flow through
+    it as chunked submissions.  The session also keeps simple counters
+    so the CLI can report what the pool actually did.
+    """
+
+    jobs: int
+    warmed: bool = False
+    items: int = 0
+    batches: int = 0
+    chunks: int = 0
+    serial: int = 0
+    fallbacks: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def _note(self, items: int = 0, batches: int = 0, chunks: int = 0,
+              serial: int = 0, fallbacks: int = 0) -> None:
+        with self._lock:
+            self.items += items
+            self.batches += batches
+            self.chunks += chunks
+            self.serial += serial
+            self.fallbacks += fallbacks
+
+    def describe(self) -> str:
+        info = pool_info()
+        pool = (f"{info['workers']} workers ({info['start_method']})"
+                if info else "no pool (serial)")
+        return (f"session: {pool}, {self.items} cells/tasks in "
+                f"{self.batches} pooled batches ({self.chunks} chunks, "
+                f"{self.serial} serial batches, {self.fallbacks} fallbacks)")
+
+
+_session: RunSession | None = None
+
+
+@contextlib.contextmanager
+def run_session(jobs: int):
+    """Open a suite-wide session: warm the shared pool once, up front.
+
+    Purely an optimisation scope — execution semantics (ordering,
+    determinism, fallback) are identical inside and outside a session,
+    and the pool it warms persists after the scope exits.
+    """
+    global _session
+    session = RunSession(jobs=jobs)
+    session.warmed = warm_pool(jobs)
+    previous = _session
+    _session = session
+    try:
+        yield session
+    finally:
+        _session = previous
+
+
+# ----------------------------------------------------------------------
+# Execution entry points
 # ----------------------------------------------------------------------
 def run_cell(cell: Cell) -> RunResult:
-    """Build and measure one cell from scratch (runs inside workers too)."""
+    """Build and measure one cell from scratch (runs inside workers too).
+
+    Scope state (metrics / batch size / fault plan) is read from the
+    ambient context — in a worker, that is the :class:`ExecContext`
+    the chunk arrived with.
+    """
     hierarchy = StorageHierarchy(cell.shape, cell.scale,
                                  memory_mode=cell.memory_mode)
     plan = active_fault_plan()
@@ -341,57 +761,33 @@ def run_cell(cell: Cell) -> RunResult:
     )
 
 
-def _run_serial(cells: list[Cell]) -> list[RunResult]:
-    results = []
-    for cell in cells:
-        try:
-            result = run_cell(cell)
-        except Exception as exc:
-            raise CellExecutionError(cell, exc) from exc
-        _record_result(cell, result)
-        results.append(result)
-    return results
+def _cell_weight(cell: Cell) -> float:
+    """Expected relative cost of one cell, from its Effort envelope."""
+    return float(cell.effort.warmup_ops + cell.effort.measure_ops)
 
 
 def run_cells(cells, jobs: int = 1) -> list[RunResult]:
     """Run a batch of cells and return results in submission order.
 
     ``jobs=1`` (or a single cell) executes in-process with no pool at
-    all.  ``jobs>1`` fans the cells over a process pool; if the platform
-    cannot spawn workers the batch silently degrades to serial, which
-    produces identical results because every cell is self-contained.
+    all.  ``jobs>1`` fans contiguous chunks of cells over the
+    persistent pool; if the platform cannot spawn workers the batch
+    degrades to serial, which produces identical results because every
+    cell is self-contained.  While :func:`metrics_collection` is
+    active, the whole batch's ``(label, result)`` pairs are appended to
+    the sink — in submission order — once the batch succeeds.
     """
     cells = list(cells)
-    if jobs <= 1 or len(cells) <= 1:
-        return _run_serial(cells)
     try:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(cells)))
-    except (OSError, ValueError, NotImplementedError):
-        return _run_serial(cells)
-    results: list[RunResult] = []
-    try:
-        futures = [pool.submit(run_cell, cell) for cell in cells]
-        for cell, future in zip(cells, futures):
-            try:
-                results.append(future.result())
-            except BrokenProcessPool:
-                # Workers could not start (or died wholesale): rerun the
-                # whole batch in-process — cells are deterministic, so
-                # the fallback result is identical.
-                return _run_serial(cells)
-            except Exception as exc:
-                raise CellExecutionError(cell, exc) from exc
-    finally:
-        pool.shutdown(wait=True, cancel_futures=True)
-    # Record only once the whole batch succeeded, in submission order —
-    # the BrokenProcessPool fallback above records via _run_serial, so
-    # recording mid-loop would double-count the completed prefix.
-    for cell, result in zip(cells, results):
-        _record_result(cell, result)
+        results = _execute(cells, run_cell, jobs, _cell_weight)
+    except _ItemFailure as failure:
+        raise CellExecutionError(
+            cells[failure.index], failure.cause) from failure.cause
+    _record_results(cells, results)
     return results
 
 
-def run_tasks(fn, items, jobs: int = 1) -> list:
+def run_tasks(fn, items, jobs: int = 1, weigh=None) -> list:
     """Run ``fn`` over ``items`` with the executor's determinism rules.
 
     The generic sibling of :func:`run_cells` for non-Cell work (the
@@ -400,26 +796,21 @@ def run_tasks(fn, items, jobs: int = 1) -> list:
     completion order, ``jobs<=1`` runs in-process with no pool, and a
     pool that cannot spawn (or breaks wholesale) degrades to a serial
     rerun — identical output, because tasks are self-contained and
-    deterministic.  ``fn`` and every item must be picklable.
+    deterministic.  ``fn`` and every item must be picklable.  ``weigh``
+    optionally maps an item to its expected relative cost, steering the
+    chunk planner's longest-expected-first schedule (default: uniform).
     """
     items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+    if weigh is None:
+        weigh = _uniform_weight
     try:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
-    except (OSError, ValueError, NotImplementedError):
-        return [fn(item) for item in items]
-    try:
-        futures = [pool.submit(fn, item) for item in items]
-        results = []
-        for future in futures:
-            try:
-                results.append(future.result())
-            except BrokenProcessPool:
-                return [fn(item) for item in items]
-        return results
-    finally:
-        pool.shutdown(wait=True, cancel_futures=True)
+        return _execute(items, fn, jobs, weigh)
+    except _ItemFailure as failure:
+        raise failure.cause
+
+
+def _uniform_weight(_item) -> float:
+    return 1.0
 
 
 @dataclass
@@ -434,9 +825,18 @@ class CellBatch:
 
     cells: list[Cell] = field(default_factory=list)
     keys: list[object] = field(default_factory=list)
+    #: Companion set for O(1) duplicate detection (hashable keys only;
+    #: unhashable keys fall back to a linear scan).
+    _seen: set = field(default_factory=set, repr=False, compare=False)
 
     def add(self, key: object, cell: Cell) -> None:
-        if key in self.keys:
+        try:
+            duplicate = key in self._seen
+        except TypeError:  # unhashable key
+            duplicate = key in self.keys
+        else:
+            self._seen.add(key)
+        if duplicate:
             raise ValueError(f"duplicate cell key {key!r}")
         self.keys.append(key)
         self.cells.append(cell)

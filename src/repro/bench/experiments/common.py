@@ -23,6 +23,8 @@ from ..executor import (  # noqa: F401  (re-exported for callers/tests)
     Effort,
     effort,
     run_cells,
+    run_session,
+    run_tasks,
 )
 from ..harness import RunConfig, RunResult, WorkloadRunner
 

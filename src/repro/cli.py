@@ -17,6 +17,15 @@ and writes the merged metrics as Prometheus text exposition (plus a
 ``.jsonl`` snapshot stream next to it); the figure JSON itself is
 byte-identical with or without metrics attached.
 
+With ``--jobs N`` and more than one experiment selected, the whole run
+becomes a **suite session**: one persistent worker pool is created and
+warmed up front, and every experiment's cells flow through it —
+several experiment drivers run concurrently, so the pool queue holds
+cells from multiple figures at once and one figure's straggler tail
+overlaps the next figure's start.  Output (tables, JSON files, metrics
+exports) is printed and written in paper order and stays byte-identical
+to a sequential ``--jobs 1`` run.
+
 The ``chaos`` subcommand runs the crash-consistency matrix instead of
 an experiment: every consistency-relevant boundary of a deterministic
 reference workload gets a crash-and-recover replay, with WAL-tail and
@@ -27,9 +36,10 @@ report is byte-identical for any ``--jobs`` value.
 from __future__ import annotations
 
 import argparse
-import contextlib
+import contextvars
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from .bench.experiments import REGISTRY
@@ -77,24 +87,69 @@ def main(argv: list[str] | None = None) -> int:
             f"choose from {', '.join(REGISTRY)}"
         )
 
-    sink = None
-    scope = contextlib.nullcontext()
-    if args.metrics_out:
-        from .bench import executor
-
-        scope = executor.metrics_collection()
-    with scope as sink:
-        for experiment_id in chosen:
-            started = time.time()
-            result = REGISTRY[experiment_id](quick=not args.full, jobs=args.jobs)
-            print(result.render())
-            print(f"   [{experiment_id} took {time.time() - started:.1f}s]\n")
-            if args.out:
-                path = result.save_json(args.out)
-                print(f"   saved {path}")
+    sink = _run_experiments(chosen, args)
     if args.metrics_out:
         _export_metrics(args.metrics_out, sink)
     return 0
+
+
+def _run_experiments(chosen: list[str], args) -> list:
+    """Run the selected experiments; returns the merged metrics sink.
+
+    One experiment (or ``--jobs 1``) runs inline.  Several experiments
+    with ``--jobs N`` open a suite-wide run session: the persistent
+    pool is warmed once, then a few driver threads walk the experiment
+    list concurrently so the shared pool schedules cells from multiple
+    figures as one batch.  Each driver collects metrics into its own
+    per-experiment sink; concatenating the sinks in paper order makes
+    the merged export byte-identical to a sequential run.
+    """
+    from .bench import executor
+
+    collect = bool(args.metrics_out)
+    quick = not args.full
+
+    def drive(experiment_id: str):
+        started = time.time()
+        if collect:
+            with executor.metrics_collection() as sink:
+                result = REGISTRY[experiment_id](quick=quick, jobs=args.jobs)
+        else:
+            sink = []
+            result = REGISTRY[experiment_id](quick=quick, jobs=args.jobs)
+        return result, sink, time.time() - started
+
+    def emit(experiment_id: str, result, elapsed: float) -> None:
+        print(result.render())
+        print(f"   [{experiment_id} took {elapsed:.1f}s]\n")
+        if args.out:
+            path = result.save_json(args.out)
+            print(f"   saved {path}")
+
+    merged: list = []
+    if args.jobs > 1 and len(chosen) > 1:
+        with executor.run_session(jobs=args.jobs) as session:
+            # Each driver runs in a copy of this thread's context, so
+            # per-driver metrics scopes stay isolated while inheriting
+            # any ambient scopes entered before the session.
+            drivers = min(len(chosen), max(2, args.jobs))
+            with ThreadPoolExecutor(max_workers=drivers) as threads:
+                futures = [
+                    threads.submit(contextvars.copy_context().run, drive,
+                                   experiment_id)
+                    for experiment_id in chosen
+                ]
+                for experiment_id, future in zip(chosen, futures):
+                    result, sink, elapsed = future.result()
+                    emit(experiment_id, result, elapsed)
+                    merged.extend(sink)
+            print(f"   [{session.describe()}]")
+    else:
+        for experiment_id in chosen:
+            result, sink, elapsed = drive(experiment_id)
+            emit(experiment_id, result, elapsed)
+            merged.extend(sink)
+    return merged
 
 
 def chaos_main(argv: list[str]) -> int:
@@ -142,15 +197,21 @@ def chaos_main(argv: list[str]) -> int:
         )
     seeds = [args.seed] if args.seed is not None else args.seeds
 
+    from .bench import executor
+
     started = time.time()
-    report = run_crash_matrix(
-        policies=tuple(args.policies),
-        seeds=tuple(seeds),
-        jobs=args.jobs,
-        with_tail_faults=not args.no_tail_faults,
-        read_error_rate=args.read_error_rate,
-        write_error_rate=args.write_error_rate,
-    )
+    # The crash matrix shares the suite's persistent pool: a session
+    # warms it once up front, then every CrashCase flows through it as
+    # chunked tasks (the report stays byte-identical at any --jobs).
+    with executor.run_session(jobs=args.jobs):
+        report = run_crash_matrix(
+            policies=tuple(args.policies),
+            seeds=tuple(seeds),
+            jobs=args.jobs,
+            with_tail_faults=not args.no_tail_faults,
+            read_error_rate=args.read_error_rate,
+            write_error_rate=args.write_error_rate,
+        )
     elapsed = time.time() - started
 
     kinds = ", ".join(f"{kind}={count}"

@@ -381,6 +381,17 @@ def run_crash_case(case: CrashCase) -> dict:
 # ----------------------------------------------------------------------
 # The matrix
 # ----------------------------------------------------------------------
+def _case_weight(case: CrashCase) -> float:
+    """Expected relative cost of one case, for the executor's scheduler.
+
+    A case crashing at the ``k``-th occurrence of its boundary kind
+    replays more of the workload the larger ``k`` is (plus recovery
+    over a longer WAL), so late-ordinal cases are the stragglers — the
+    chunk planner schedules them first.
+    """
+    return 1.0 + case.boundary.ordinal
+
+
 def build_cases(policies, seeds, config: MatrixConfig,
                 with_tail_faults: bool = True,
                 read_error_rate: float = 0.0,
@@ -445,7 +456,8 @@ def run_crash_matrix(policies=("DRAM_SSD", "SPITFIRE_LAZY",
                         with_tail_faults=with_tail_faults,
                         read_error_rate=read_error_rate,
                         write_error_rate=write_error_rate)
-    results = run_tasks(run_crash_case, cases, jobs=jobs)
+    results = run_tasks(run_crash_case, cases, jobs=jobs,
+                        weigh=_case_weight)
     failures = [r["case"] for r in results if not r["ok"]]
     boundary_kinds: dict[str, int] = {}
     for case in cases:
