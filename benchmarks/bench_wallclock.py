@@ -35,6 +35,15 @@ The measurements, written to ``BENCH_repro.json`` next to this script
   subscriber count, allocation-free fast path intact, i.e. a fully
   detached bus has zero added cost.
 
+* **tenancy overhead** — the same cell with metrics attached, untagged
+  and then tenant-tagged (``Cell.track_tenants``: the buffer manager is
+  built with ``TenancyConfig.single()`` and every op flows through the
+  per-tenant admission/metrics machinery as tenant 0), interleaved,
+  best of ``--repeats`` passes per leg.  Both legs collect metrics so
+  the delta isolates the tenancy plumbing itself; the guard asserts the
+  tagged run stays within ``--tenancy-overhead-budget`` (default 3%)
+  of the untagged baseline.
+
 Both use fixed seeds, so reruns on one machine are comparable; numbers
 across machines are not (and the simulated throughputs inside the cell
 are machine-independent by design — only the wall clock varies).
@@ -212,6 +221,58 @@ def time_cell_metrics(overhead_budget: float,
         "overhead_budget": overhead_budget,
         "detach_restores_bus": bm.events.num_subscribers == baseline_subscribers
         and bm.events.fast_path_active == baseline_fast,
+    }, violations
+
+
+def time_cell_tenancy(overhead_budget: float,
+                      repeats: int = 3) -> tuple[dict, list[str]]:
+    """Untagged-vs-tenant-tagged cell timing.
+
+    Both legs attach a MetricsHub (tagging implies one), so the measured
+    delta is the tenancy machinery alone: the ``TenancyConfig.single()``
+    wiring, the bus tenant register, and the per-tenant histogram
+    bracketing in the hub.  The guard reads the *minimum* tagged/untagged
+    ratio over the interleaved pairs: back-to-back pairs cancel machine
+    drift, and a real overhead shows up in every pair, so the minimum is
+    robust against bursty noise on shared runners while still catching
+    genuine hot-path regressions.
+    """
+    violations: list[str] = []
+    untagged_cell = replace(bench_cell(), collect_metrics=True)
+    tagged_cell = replace(untagged_cell, track_tenants=True)
+    untagged = tagged = None
+    tagged_res = None
+    ratios = []
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        run_cell(untagged_cell)
+        untagged_elapsed = time.perf_counter() - t0
+        if untagged is None or untagged_elapsed < untagged:
+            untagged = untagged_elapsed
+        t0 = time.perf_counter()
+        tagged_res = run_cell(tagged_cell)
+        tagged_elapsed = time.perf_counter() - t0
+        if tagged is None or tagged_elapsed < tagged:
+            tagged = tagged_elapsed
+        ratios.append(tagged_elapsed / untagged_elapsed)
+    overhead = min(ratios) - 1.0
+    if overhead > overhead_budget:
+        violations.append(
+            f"tenant-tagging overhead {overhead:+.1%} exceeds the "
+            f"{overhead_budget:.0%} budget "
+            f"(untagged {untagged:.3f}s, tagged {tagged:.3f}s)"
+        )
+    if tagged_res.tenant_breakdown is None or \
+            set(tagged_res.tenant_breakdown) != {0}:
+        violations.append(
+            "tenant-tagged cell did not produce a tenant-0 breakdown — "
+            "tagging was not actually active"
+        )
+    return {
+        "untagged_wall_seconds": round(untagged, 3),
+        "tagged_wall_seconds": round(tagged, 3),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": overhead_budget,
     }, violations
 
 
@@ -424,6 +485,12 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FRAC",
                         help="max fractional wall-clock overhead of an "
                              "attached MetricsHub (default: 0.10)")
+    parser.add_argument("--tenancy-overhead-budget", type=float, default=0.03,
+                        metavar="FRAC",
+                        help="max fractional wall-clock overhead of tenant "
+                             "tagging over an untagged metrics run "
+                             "(default: 0.03; CI uses a wider budget to "
+                             "absorb shared-runner noise)")
     parser.add_argument("--metrics-out", metavar="DIR",
                         help="also write the attached cell's metrics as "
                              "Prometheus text + JSONL under DIR")
@@ -453,6 +520,10 @@ def main(argv: list[str] | None = None) -> int:
     metrics_report, violations = time_cell_metrics(
         args.overhead_budget, args.metrics_out, repeats=args.repeats
     )
+    tenancy_report, tenancy_violations = time_cell_tenancy(
+        args.tenancy_overhead_budget, repeats=args.repeats
+    )
+    violations.extend(tenancy_violations)
     inner = time_inner_loop(args.repeats)
     inner_batched = time_inner_loop_batched(
         args.repeats, inner["ops_per_second"], args.profile_out
@@ -464,6 +535,7 @@ def main(argv: list[str] | None = None) -> int:
         "inner_loop": inner,
         "cell": time_cell_serial(),
         "cell_with_metrics": metrics_report,
+        "cell_with_tenancy": tenancy_report,
     }
     if inner_batched is not None:
         report["inner_loop_batched"] = inner_batched

@@ -29,6 +29,14 @@ time and nothing else.  The flags compose — ``--with-batching
 --with-metrics --with-faults-disabled`` proves the contract holds with
 observers attached and fault wrappers installed.
 
+``--with-tenancy`` regenerates with tenant tagging enabled in every
+cell (:func:`~repro.bench.executor.tenant_tagging`): each buffer
+manager is built with ``TenancyConfig.single()``, every op runs
+tagged as tenant 0 through the per-tenant admission and metrics
+machinery, and the result carries a per-tenant breakdown.  Byte-
+identity here is the multi-tenant refactor's core contract: tenant
+plumbing at the default tenant is free.
+
 ``--prewarm-pool`` creates and warms the persistent worker pool
 *before* any of the scopes above are entered.  This is the adversarial
 ordering for context propagation: the workers are forked first, so
@@ -44,8 +52,10 @@ Usage::
     python benchmarks/check_golden_figures.py fig6 --jobs 4 --with-metrics
     python benchmarks/check_golden_figures.py --with-faults-disabled
     python benchmarks/check_golden_figures.py --with-batching
+    python benchmarks/check_golden_figures.py --with-tenancy
     python benchmarks/check_golden_figures.py --jobs 4 --prewarm-pool \
-        --with-metrics --with-batching --with-faults-disabled
+        --with-metrics --with-batching --with-faults-disabled \
+        --with-tenancy
 """
 
 from __future__ import annotations
@@ -75,7 +85,8 @@ BATCHING_BATCH_SIZE = 1024
 
 def check(experiment_id: str, jobs: int, with_metrics: bool = False,
           with_faults_disabled: bool = False,
-          with_batching: bool = False) -> bool:
+          with_batching: bool = False,
+          with_tenancy: bool = False) -> bool:
     golden = RESULTS_DIR / f"{experiment_id}.json"
     if not golden.exists():
         print(f"FAIL {experiment_id}: no archived result at {golden}")
@@ -93,7 +104,12 @@ def check(experiment_id: str, jobs: int, with_metrics: bool = False,
         from repro.bench.executor import batch_execution
 
         batch_scope = batch_execution(BATCHING_BATCH_SIZE)
-    with scope as sink, fault_scope, batch_scope:
+    tenancy_scope = contextlib.nullcontext()
+    if with_tenancy:
+        from repro.bench.executor import tenant_tagging
+
+        tenancy_scope = tenant_tagging()
+    with scope as sink, fault_scope, batch_scope, tenancy_scope:
         result = REGISTRY[experiment_id](quick=True, jobs=jobs)
     with tempfile.TemporaryDirectory() as tmp:
         fresh = result.save_json(tmp)
@@ -105,6 +121,8 @@ def check(experiment_id: str, jobs: int, with_metrics: bool = False,
         mode += ", no-op fault wrappers installed"
     if with_batching:
         mode += f", batched at {BATCHING_BATCH_SIZE}"
+    if with_tenancy:
+        mode += ", tenant tagging on"
     if fresh_bytes == golden_bytes:
         print(f"OK   {experiment_id}: byte-identical to {golden} "
               f"({len(golden_bytes)} bytes, {elapsed:.1f}s{mode})")
@@ -151,6 +169,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="drive every cell through the columnar batch "
                              f"path at batch size {BATCHING_BATCH_SIZE}; the "
                              "JSON must stay byte-identical")
+    parser.add_argument("--with-tenancy", action="store_true",
+                        help="enable tenant tagging (single-tenant "
+                             "TenancyConfig, every op tagged tenant 0) in "
+                             "every cell; the JSON must stay byte-identical")
     parser.add_argument("--prewarm-pool", action="store_true",
                         help="fork and warm the persistent worker pool "
                              "BEFORE entering any --with-* scope, so context "
@@ -172,7 +194,8 @@ def main(argv: list[str] | None = None) -> int:
         e for e in args.experiments
         if not check(e, args.jobs, with_metrics=args.with_metrics,
                      with_faults_disabled=args.with_faults_disabled,
-                     with_batching=args.with_batching)
+                     with_batching=args.with_batching,
+                     with_tenancy=args.with_tenancy)
     ]
     return 1 if failures else 0
 

@@ -21,7 +21,8 @@ Design rules:
   :class:`Effort` (longest-expected-first), which amortises pickling
   and IPC over many small tasks while keeping load balanced;
 * execution scopes (:func:`metrics_collection`, :func:`batch_execution`,
-  :func:`fault_plan_injection`) travel as an explicit per-submission
+  :func:`fault_plan_injection`, :func:`tenant_tagging`) travel as an
+  explicit per-submission
   :class:`ExecContext` value captured at submit time and installed
   around the work inside the worker — a persistent pool outlives any
   scope, so nothing may rely on workers inheriting parent state;
@@ -47,13 +48,15 @@ import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.buffer_manager import BufferManager, BufferManagerConfig
 from ..core.policy import MigrationPolicy
+from ..core.tenancy import QuotaMode, TenancyConfig
 from ..hardware.cost_model import StorageHierarchy
 from ..hardware.pricing import HierarchyShape
 from ..hardware.specs import DEFAULT_SCALE, SimulationScale
+from ..workloads.tenancy import MultiTenantWorkload, TenantSpec
 from ..workloads.tpcc import TpccWorkload
 from ..workloads.ycsb import MIXES, YcsbWorkload
 from .harness import RunConfig, RunResult, WorkloadRunner
@@ -138,6 +141,30 @@ class Cell:
     #: legacy per-op loop).  Overridden for every cell while
     #: :func:`batch_execution` is active.
     batch_size: int = 1
+    #: Tenant population for a multi-tenant cell.  Non-empty routes the
+    #: cell through :meth:`WorkloadRunner.measure_tenants` over an
+    #: interleaved :class:`~repro.workloads.tenancy.MultiTenantWorkload`
+    #: (``workload.seed`` seeds the interleaver); empty keeps the
+    #: single-stream path.  TenantSpec is frozen, so cells stay
+    #: picklable.
+    tenants: tuple[TenantSpec, ...] = ()
+    #: Quota mode for multi-tenant cells: "none", "hard", or "soft".
+    quota_mode: str = "none"
+    #: Per-tenant buffer-share fractions (empty = equal shares).
+    shares: tuple[float, ...] = ()
+    #: Project tenant-labelled metrics and attach a per-tenant breakdown
+    #: to the result.  Also forced on for every cell while
+    #: :func:`tenant_tagging` is active.
+    track_tenants: bool = False
+
+    def __post_init__(self) -> None:
+        if self.quota_mode not in ("none", "hard", "soft"):
+            raise ValueError(
+                f"unknown quota mode {self.quota_mode!r}; "
+                "expected 'none', 'hard', or 'soft'"
+            )
+        if self.shares and len(self.shares) != len(self.tenants):
+            raise ValueError("shares must have one entry per tenant")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -158,12 +185,45 @@ class Cell:
         return cls(label=label, shape=shape, policy=policy, workload=spec,
                    **kwargs)
 
+    @classmethod
+    def multi_tenant(cls, label: str, shape: HierarchyShape,
+                     policy: MigrationPolicy, tenants, *,
+                     quota_mode: str = "none",
+                     shares: tuple[float, ...] = (),
+                     interleave_seed: int = 3, **kwargs) -> "Cell":
+        """A multi-tenant grid point over an interleaved tenant stream.
+
+        ``tenants`` is a sequence of :class:`TenantSpec`;
+        ``interleave_seed`` seeds the weighted stream interleaver (it
+        rides in ``workload.seed``).  The ``workload`` field carries the
+        lead tenant's profile purely for display — execution resolves
+        the full tenant population.  Per-tenant tracking defaults on so
+        results carry breakdowns.
+        """
+        tenants = tuple(tenants)
+        if not tenants:
+            raise ValueError("multi-tenant cells need at least one TenantSpec")
+        lead = tenants[0]
+        spec = WorkloadSpec(
+            kind=lead.kind, db_gb=lead.db_gigabytes,
+            mix=lead.mix if lead.kind == "ycsb" else None,
+            skew=lead.skew, seed=interleave_seed,
+        )
+        kwargs.setdefault("track_tenants", True)
+        return cls(label=label, shape=shape, policy=policy, workload=spec,
+                   tenants=tenants, quota_mode=quota_mode,
+                   shares=tuple(shares), **kwargs)
+
     def describe(self) -> str:
         """One-line spec rendering for error messages and logs."""
         wl = self.workload
-        workload = (
-            f"{wl.mix} skew={wl.skew}" if wl.kind == "ycsb" else "TPC-C"
-        )
+        if self.tenants:
+            names = "+".join(spec.name for spec in self.tenants)
+            workload = f"tenants[{names}] quota={self.quota_mode}"
+        elif wl.kind == "ycsb":
+            workload = f"{wl.mix} skew={wl.skew}"
+        else:
+            workload = "TPC-C"
         return (
             f"Cell({self.label!r}: shape={self.shape.label}, "
             f"policy={self.policy.name or self.policy}, {workload}, "
@@ -187,8 +247,9 @@ class CellExecutionError(RuntimeError):
 # ----------------------------------------------------------------------
 # Execution scopes and their transport: ExecContext
 # ----------------------------------------------------------------------
-# The three session scopes (metrics collection, batch execution, fault
-# injection) used to travel into pool workers as environment variables,
+# The session scopes (metrics collection, batch execution, fault
+# injection, tenant tagging) used to travel into pool workers as
+# environment variables,
 # relying on workers inheriting the parent's environment at fork time.
 # A *persistent* pool breaks that scheme: workers fork once, so a scope
 # entered after the pool exists would silently not apply inside it.
@@ -206,6 +267,8 @@ _batch_size_var: contextvars.ContextVar[int | None] = contextvars.ContextVar(
     "repro_batch_size", default=None)
 _fault_plan_var: contextvars.ContextVar[bytes | None] = contextvars.ContextVar(
     "repro_fault_plan", default=None)
+_tenancy_on_var: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_tenancy_on", default=False)
 
 
 @dataclass(frozen=True)
@@ -220,6 +283,7 @@ class ExecContext:
     collect_metrics: bool = False
     batch_size: int | None = None
     fault_plan_payload: bytes | None = None
+    tenant_tagging: bool = False
 
     @property
     def is_default(self) -> bool:
@@ -231,10 +295,12 @@ class ExecContext:
             _metrics_on_var.set(self.collect_metrics),
             _batch_size_var.set(self.batch_size),
             _fault_plan_var.set(self.fault_plan_payload),
+            _tenancy_on_var.set(self.tenant_tagging),
         )
         try:
             yield self
         finally:
+            _tenancy_on_var.reset(tokens[3])
             _fault_plan_var.reset(tokens[2])
             _batch_size_var.reset(tokens[1])
             _metrics_on_var.reset(tokens[0])
@@ -249,6 +315,7 @@ def current_context() -> ExecContext:
         collect_metrics=_metrics_on_var.get(),
         batch_size=_batch_size_var.get(),
         fault_plan_payload=_fault_plan_var.get(),
+        tenant_tagging=_tenancy_on_var.get(),
     )
 
 
@@ -307,6 +374,28 @@ def batch_execution(batch_size: int):
         yield batch_size
     finally:
         _batch_size_var.reset(token)
+
+
+def tenant_tagging_active() -> bool:
+    """Whether session-wide tenant tagging is currently on."""
+    return _tenancy_on_var.get()
+
+
+@contextlib.contextmanager
+def tenant_tagging():
+    """Run every cell in this scope with tenant plumbing enabled.
+
+    Single-stream cells get ``TenancyConfig.single()`` — every op is
+    tagged tenant 0, per-tenant admission/metrics machinery is live,
+    and behaviour is byte-identical to the untagged path by
+    construction.  ``check_golden_figures.py --with-tenancy`` wraps the
+    figure suite in exactly this scope to enforce that contract.
+    """
+    token = _tenancy_on_var.set(True)
+    try:
+        yield
+    finally:
+        _tenancy_on_var.reset(token)
 
 
 def active_fault_plan():
@@ -733,6 +822,27 @@ def run_cell(cell: Cell) -> RunResult:
     config = cell.bm_config
     if config is None:
         config = BufferManagerConfig(seed=cell.seed)
+    spec = cell.workload
+    tagging = cell.track_tenants or tenant_tagging_active()
+
+    multi = None
+    if cell.tenants:
+        # The tenant page layout (stride with growth headroom) is owned
+        # by the workload; the core's TenancyConfig is derived from it.
+        multi = MultiTenantWorkload(cell.tenants, cell.scale, seed=spec.seed)
+        if config.tenancy is None:
+            config = replace(config, tenancy=TenancyConfig(
+                num_tenants=multi.num_tenants,
+                page_stride=multi.page_stride,
+                quota_mode=QuotaMode(cell.quota_mode),
+                shares=cell.shares,
+                policy_presets=tuple(
+                    t.policy_preset for t in cell.tenants
+                ),
+            ))
+    elif tagging and config.tenancy is None:
+        config = replace(config, tenancy=TenancyConfig.single())
+
     bm = BufferManager(hierarchy, cell.policy, config)
     runner = WorkloadRunner(
         bm,
@@ -744,9 +854,14 @@ def run_cell(cell: Cell) -> RunResult:
             trace_events=cell.trace_events,
             collect_metrics=cell.collect_metrics or metrics_collected(),
             batch_size=active_batch_size() or cell.batch_size,
+            track_tenants=tagging,
         ),
     )
-    spec = cell.workload
+    if multi is not None:
+        return runner.measure_tenants(
+            multi, label=cell.label,
+            extra_worker_counts=cell.extra_worker_counts,
+        )
     if spec.kind == "ycsb":
         num_tuples = cell.scale.pages(spec.db_gb) * TUPLES_PER_PAGE
         workload = YcsbWorkload(num_tuples=num_tuples, mix=MIXES[spec.mix],

@@ -22,6 +22,7 @@ from . import (
     fig15_dbsize,
     table1_devices,
     table2_inclusivity,
+    tenant_isolation,
 )
 
 #: Experiment id -> run callable, in paper order.
@@ -43,6 +44,7 @@ REGISTRY = {
     "queue_size": queue_size.run,
     "recovery": recovery_overhead.run,
     "replacement": replacement_ablation.run,
+    "tenants": tenant_isolation.run,
 }
 
 __all__ = ["REGISTRY"]

@@ -26,8 +26,10 @@ from .event_trace import EventTraceRecorder
 from ..wal.checkpoint import Checkpointer
 from ..wal.log_manager import LogManager
 from ..wal.records import LogRecordType
+from ..obs.metrics import BUCKET_BOUNDS
+from ..workloads.tenancy import MultiTenantWorkload, TenantAccess
 from ..workloads.tpcc import PageAccess, TpccWorkload
-from ..workloads.ycsb import COLUMN_SIZE, OpKind, TUPLE_SIZE, YcsbWorkload
+from ..workloads.ycsb import COLUMN_SIZE, TUPLE_SIZE, YcsbWorkload
 
 #: Placeholder images used when charging log-record sizes; the content
 #: is irrelevant to the cost model, only the length matters.
@@ -68,6 +70,10 @@ class RunConfig:
     #: byte-identical to the per-op loop by construction (stats, costs,
     #: metrics, and figure JSON all match).
     batch_size: int = 1
+    #: Project tenant-labelled metrics series over the measurement
+    #: window (implies a hub attaches even without ``collect_metrics``);
+    #: the run result then carries a per-tenant breakdown.
+    track_tenants: bool = False
 
 
 @dataclass
@@ -97,10 +103,76 @@ class RunResult:
     #: the measurement window (busy_ns / operations / bytes_moved per
     #: device channel plus CPU) — the saturation model's inputs.
     resource_usage: dict[str, dict] | None = None
+    #: Per-tenant op counts and latency quantiles, keyed by tenant id
+    #: (only when ``RunConfig.track_tenants``).
+    tenant_breakdown: dict[int, dict] | None = None
 
     @property
     def throughput_kops(self) -> float:
         return self.throughput / 1e3
+
+
+def _quantile_from_counts(counts: list[int], q: float) -> float:
+    """The log2-bucket upper bound holding the ``q``-quantile, mirroring
+    :meth:`~repro.obs.metrics.Histogram.quantile` on snapshot state."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    seen = 0
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= target:
+            return BUCKET_BOUNDS[index]
+    return BUCKET_BOUNDS[-1]  # pragma: no cover - loop always lands
+
+
+def tenant_breakdown(metrics: dict | None) -> dict[int, dict] | None:
+    """Per-tenant breakdown derived from a MetricsHub snapshot.
+
+    A pure function of the snapshot dict (the hub itself is detached by
+    the time results are assembled): per tenant, read/write op counts
+    and p50/p99/mean simulated op latency over the merged read+write
+    histograms.  Returns None when the snapshot has no tenant series.
+    """
+    if not metrics:
+        return None
+    merged: dict[int, dict] = {}
+    for entry in metrics.get("registry", {}).values():
+        labels = entry.get("labels", {})
+        if "tenant" not in labels:
+            continue
+        tenant = int(labels["tenant"])
+        record = merged.setdefault(tenant, {
+            "reads": 0,
+            "writes": 0,
+            "counts": [0] * len(BUCKET_BOUNDS),
+            "latency_sum_ns": 0.0,
+        })
+        state = entry.get("state")
+        name = entry.get("name")
+        if name == "tenant_ops_total":
+            kind = labels.get("kind", "read")
+            record["writes" if kind == "write" else "reads"] += int(state)
+        elif name == "tenant_op_latency_ns":
+            for index, count in enumerate(state["counts"]):
+                record["counts"][index] += count
+            record["latency_sum_ns"] += state["sum"]
+    if not merged:
+        return None
+    breakdown: dict[int, dict] = {}
+    for tenant in sorted(merged):
+        record = merged[tenant]
+        counts = record.pop("counts")
+        observed = sum(counts)
+        record["ops"] = record["reads"] + record["writes"]
+        record["p50_ns"] = _quantile_from_counts(counts, 0.50)
+        record["p99_ns"] = _quantile_from_counts(counts, 0.99)
+        record["mean_ns"] = (
+            record["latency_sum_ns"] / observed if observed else 0.0
+        )
+        breakdown[tenant] = record
+    return breakdown
 
 
 class WorkloadRunner:
@@ -141,32 +213,57 @@ class WorkloadRunner:
         if self.checkpointer is not None:
             self.checkpointer.note_operation(is_write=True)
 
+    def _exec_op(self, page_id: int, offset: int, nbytes: int,
+                 is_write: bool, tenant_id: int = 0) -> bool:
+        """The single accounting path every op variant funnels through.
+
+        Reads serve ``nbytes``; writes additionally charge the WAL
+        append/commit and tick the checkpointer.  The YCSB, TPC-C,
+        trace, and multi-tenant steps all route here, so tenant-tagged
+        runs cannot drift from the single-stream accounting.  Returns
+        True when the op was a write.
+        """
+        if is_write:
+            self.bm.write(page_id, offset, nbytes, tenant_id=tenant_id)
+            self._charge_update_wal(page_id)
+            return True
+        self.bm.read(page_id, offset, nbytes, tenant_id=tenant_id)
+        return False
+
     def run_ycsb_op(self, workload: YcsbWorkload) -> bool:
         """Execute one YCSB operation; returns True when it was a write."""
         op = workload.next_op()
         page_id = workload.page_of(op.key)
         offset = workload.offset_of(op.key, op.column)
-        if op.kind is OpKind.READ:
-            self.bm.read(page_id, offset, TUPLE_SIZE)
-            return False
-        self.bm.write(page_id, offset, COLUMN_SIZE)
-        self._charge_update_wal(page_id)
-        return True
+        nbytes = COLUMN_SIZE if op.is_write else TUPLE_SIZE
+        return self._exec_op(page_id, offset, nbytes, op.is_write)
 
     def run_access(self, access: PageAccess) -> bool:
         """Execute one pre-generated page access (TPC-C / traces).
 
         TPC-C's insert regions grow during the run, so unseen pages are
-        allocated on first touch.
+        allocated on first touch.  Tenant-tagged accesses
+        (:class:`~repro.workloads.tenancy.TenantAccess`) carry their
+        tenant through to the buffer manager; plain accesses run as
+        tenant 0.
         """
         if not self.bm.page_exists(access.page_id):
             self.bm.allocate_page(access.page_id)
-        if access.is_write:
-            self.bm.write(access.page_id, access.offset, access.nbytes)
-            self._charge_update_wal(access.page_id)
-            return True
-        self.bm.read(access.page_id, access.offset, access.nbytes)
-        return False
+        return self._exec_op(access.page_id, access.offset, access.nbytes,
+                             access.is_write,
+                             tenant_id=getattr(access, "tenant_id", 0))
+
+    def run_tenant_access(self, access: TenantAccess,
+                          think_time_ns: float = 0.0) -> bool:
+        """Execute one access of the interleaved multi-tenant stream.
+
+        ``think_time_ns`` (from the tenant's spec) is charged as CPU
+        service ahead of the op — the simulation has no idle waiting, so
+        think time models a slower arrival rate, not a sleeping client.
+        """
+        if think_time_ns:
+            self.hierarchy.charge_cpu(think_time_ns)
+        return self.run_access(access)
 
     # ------------------------------------------------------------------
     # Batched operation execution (RunConfig.batch_size > 1)
@@ -193,9 +290,7 @@ class WorkloadRunner:
         i = 0
         while i < count:
             if is_writes[i]:
-                page_id = page_ids[i]
-                self.bm.write(page_id, offsets[i], COLUMN_SIZE)
-                self._charge_update_wal(page_id)
+                self._exec_op(page_ids[i], offsets[i], COLUMN_SIZE, True)
                 writes += 1
                 i += 1
                 continue
@@ -239,6 +334,45 @@ class WorkloadRunner:
             i = j
         return writes
 
+    def run_tenant_batch(self, accesses, think_ns: tuple) -> int:
+        """Execute a slice of the interleaved tenant stream batched.
+
+        Like :meth:`run_access_batch`, but columnar runs additionally
+        break on tenant change (a batch summary never spans tenants) and
+        ops of tenants with think time stay on the per-op path — their
+        per-op CPU charge must interleave with the accesses exactly as
+        the unbatched loop charges it.  Returns the number of writes.
+        """
+        read_batch = self.bm.batch_path.read_batch
+        page_exists = self.bm.page_exists
+        writes = 0
+        n = len(accesses)
+        i = 0
+        while i < n:
+            access = accesses[i]
+            tenant = access.tenant_id
+            if access.is_write or think_ns[tenant] \
+                    or not page_exists(access.page_id):
+                if self.run_tenant_access(access, think_ns[tenant]):
+                    writes += 1
+                i += 1
+                continue
+            size = access.nbytes
+            j = i + 1
+            while (
+                j < n
+                and not accesses[j].is_write
+                and accesses[j].nbytes == size
+                and accesses[j].tenant_id == tenant
+                and page_exists(accesses[j].page_id)
+            ):
+                j += 1
+            run = accesses[i:j]
+            read_batch([a.page_id for a in run], [a.offset for a in run],
+                       size, tenant)
+            i = j
+        return writes
+
     # ------------------------------------------------------------------
     # Full measurement protocol
     # ------------------------------------------------------------------
@@ -266,6 +400,35 @@ class WorkloadRunner:
             extra_worker_counts=extra_worker_counts,
             batch_step=lambda count: self.run_access_batch(
                 [next(stream) for _ in range(count)]
+            ),
+        )
+
+    def measure_tenants(self, workload: MultiTenantWorkload,
+                        label: str = "tenants",
+                        extra_worker_counts: tuple[int, ...] = ()) -> RunResult:
+        """Measure the interleaved multi-tenant stream.
+
+        Same protocol as the single-stream entry points — allocate,
+        prime (merged popularity ranking), warm up, measure — with each
+        op tagged by its tenant.  Combine with
+        ``RunConfig.track_tenants`` to get per-tenant breakdowns on the
+        result.
+        """
+        self.bm.allocate_pages(workload.initial_page_ids())
+        if self.config.prime_buffers:
+            self._prime(workload.page_popularity())
+        think = tuple(spec.think_time_ns for spec in workload.specs)
+
+        def step() -> bool:
+            access = workload.next_access()
+            return self.run_tenant_access(access, think[access.tenant_id])
+
+        return self._measure(
+            step=step,
+            label=label,
+            extra_worker_counts=extra_worker_counts,
+            batch_step=lambda count: self.run_tenant_batch(
+                [workload.next_access() for _ in range(count)], think
             ),
         )
 
@@ -360,8 +523,9 @@ class WorkloadRunner:
         try:
             if config.trace_events:
                 trace = EventTraceRecorder().attach(self.bm)
-            if config.collect_metrics:
-                hub = MetricsHub(epoch_ns=config.metrics_epoch_ns)
+            if config.collect_metrics or config.track_tenants:
+                hub = MetricsHub(epoch_ns=config.metrics_epoch_ns,
+                                 track_tenants=config.track_tenants)
                 hub.attach(self.bm)
             if config.trace_page_fraction > 0:
                 tracer = PageLifecycleTracer(config.trace_page_fraction)
@@ -403,6 +567,7 @@ class WorkloadRunner:
         by_workers = {config.workers: throughput}
         for workers in extra_worker_counts:
             by_workers[workers] = self.hierarchy.throughput(operations, workers)
+        metrics_snapshot = hub.snapshot() if hub is not None else None
         return RunResult(
             label=label,
             operations=operations,
@@ -414,10 +579,14 @@ class WorkloadRunner:
             makespan_ns=makespan,
             throughput_by_workers=by_workers,
             event_trace=trace.report() if trace is not None else None,
-            metrics=hub.snapshot() if hub is not None else None,
+            metrics=metrics_snapshot if config.collect_metrics else None,
             page_traces=tracer.snapshot() if tracer is not None else None,
             resource_usage={
                 key: usage.as_dict()
                 for key, usage in self.hierarchy.cost.snapshot().items()
             },
+            tenant_breakdown=(
+                tenant_breakdown(metrics_snapshot)
+                if config.track_tenants else None
+            ),
         )

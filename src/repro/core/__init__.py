@@ -48,6 +48,7 @@ from .policy import (
 from .space_manager import SpaceManager
 from .ssd_store import SsdStore
 from .stats import BufferStats, InclusivitySample, InclusivityTracker, inclusivity_ratio
+from .tenancy import QuotaMode, TenancyConfig, TenancyControl, TenantRegistry
 from .tier_chain import TierChain, TierNode
 
 __all__ = [
@@ -82,12 +83,16 @@ __all__ = [
     "NvmAdmission",
     "POLICY_PRESETS",
     "PolicySlot",
+    "QuotaMode",
     "SPITFIRE_EAGER",
     "SPITFIRE_LAZY",
     "SharedPageDescriptor",
     "SpaceManager",
     "SsdStore",
     "StatsProjector",
+    "TenancyConfig",
+    "TenancyControl",
+    "TenantRegistry",
     "TierChain",
     "TierNode",
     "TierPageDescriptor",

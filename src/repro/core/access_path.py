@@ -68,6 +68,7 @@ class AccessPath:
         self.store = store
         self.policy_slot = policy_slot
         self.config = config
+        self.events = events
         self._emit = events.publish
         #: Bound by :meth:`bind`: installs reserve frames through the
         #: space manager; partial layouts are served by fine-grained ops.
@@ -85,7 +86,7 @@ class AccessPath:
     # The generic chain walk
     # ------------------------------------------------------------------
     def access(self, page_id: PageId, offset: int, nbytes: int,
-               is_write: bool) -> AccessResult:
+               is_write: bool, tenant_id: int = 0) -> AccessResult:
         """The generic chain walk shared by ``read`` and ``write``.
 
         Top-down hit scan; on a non-top hit, one promotion draw per edge
@@ -96,6 +97,9 @@ class AccessPath:
         hierarchy.begin_op()
         try:
             hierarchy.charge_cpu(hierarchy.cpu_costs.lookup_ns)
+            # Set the bus tenant register before the OP event so every
+            # subscriber sees the op attributed to the right tenant.
+            self.events.tenant_id = tenant_id
             self._emit(EventType.OP_WRITE if is_write else EventType.OP_READ,
                        page_id)
             shared = self.table.get_or_create(page_id)

@@ -67,9 +67,22 @@ class AdmissionQueue:
         with self._lock:
             return page_id in self._entries
 
+    def snapshot(self) -> tuple[int, int, float]:
+        """Consistent ``(considerations, admissions, rate)`` triple.
+
+        ``considerations`` and ``admissions`` are updated together under
+        the queue lock inside :meth:`should_admit`; reading them as two
+        separate attribute loads can observe a consideration whose
+        admission has not landed yet.  Per-tenant stats aggregation reads
+        this snapshot instead.
+        """
+        with self._lock:
+            considerations = self.considerations
+            admissions = self.admissions
+        rate = admissions / considerations if considerations else 0.0
+        return considerations, admissions, rate
+
     @property
     def admission_rate(self) -> float:
         """Fraction of considerations that resulted in admission."""
-        if not self.considerations:
-            return 0.0
-        return self.admissions / self.considerations
+        return self.snapshot()[2]

@@ -89,13 +89,15 @@ class BatchAccessPath:
     # ------------------------------------------------------------------
     # Batch entry points
     # ------------------------------------------------------------------
-    def read_batch(self, page_ids, offsets, nbytes: int) -> None:
+    def read_batch(self, page_ids, offsets, nbytes: int,
+                   tenant_id: int = 0) -> None:
         """Execute a batch of uniform-size reads in op order.
 
         ``page_ids``/``offsets`` are parallel sequences (numpy arrays or
         lists); ``nbytes`` is the per-op access size.  Contiguous runs
         of top-tier hits execute vectorized; every other op takes the
         per-op access path at its original position in the sequence.
+        A batch never spans tenants: callers split on tenant change.
         """
         if np is not None and isinstance(page_ids, np.ndarray):
             page_ids = page_ids.tolist()
@@ -106,14 +108,14 @@ class BatchAccessPath:
         n = len(page_ids)
         if top is None:
             for i in range(n):
-                access(page_ids[i], offsets[i], nbytes, False)
+                access(page_ids[i], offsets[i], nbytes, False, tenant_id)
             return
         probe = top.pool.probe
         i = 0
         while i < n:
             descriptor = probe(page_ids[i])
             if descriptor is None or not isinstance(descriptor.content, Page):
-                access(page_ids[i], offsets[i], nbytes, False)
+                access(page_ids[i], offsets[i], nbytes, False, tenant_id)
                 i += 1
                 continue
             frames = [descriptor.frame_index]
@@ -125,10 +127,12 @@ class BatchAccessPath:
                     break
                 frames.append(descriptor.frame_index)
                 j += 1
-            self._run_fast_reads(top, page_ids[run_start:j], frames, nbytes)
+            self._run_fast_reads(top, page_ids[run_start:j], frames, nbytes,
+                                 tenant_id)
             i = j
 
-    def execute(self, page_ids, offsets, sizes, is_writes) -> None:
+    def execute(self, page_ids, offsets, sizes, is_writes,
+                tenant_id: int = 0) -> None:
         """Execute a mixed batch in op order.
 
         Writes and non-uniform slow ops go through the per-op path one
@@ -151,7 +155,7 @@ class BatchAccessPath:
         while i < n:
             if is_writes[i]:
                 size = sizes if scalar_size else sizes[i]
-                access(page_ids[i], offsets[i], size, True)
+                access(page_ids[i], offsets[i], size, True, tenant_id)
                 i += 1
                 continue
             j = i + 1
@@ -160,13 +164,14 @@ class BatchAccessPath:
                 scalar_size or sizes[j] == size
             ):
                 j += 1
-            self.read_batch(page_ids[i:j], offsets[i:j], size)
+            self.read_batch(page_ids[i:j], offsets[i:j], size, tenant_id)
             i = j
 
     # ------------------------------------------------------------------
     # Vectorized execution of one fast run
     # ------------------------------------------------------------------
-    def _run_fast_reads(self, top: TierNode, ids, frames, nbytes: int) -> None:
+    def _run_fast_reads(self, top: TierNode, ids, frames, nbytes: int,
+                        tenant_id: int = 0) -> None:
         """Vectorized execution of ``len(ids)`` top-tier read hits.
 
         Mirrors, charge for charge, the per-op sequence: lookup CPU
@@ -186,6 +191,9 @@ class BatchAccessPath:
         transfer_fp, latency_fp = top.device.read_batch(nbytes, count=m)
         cost.charge_batch_fp(CostAccumulator.CPU, lookup_fp * m, m)
         per_op_fp = transfer_fp + (lookup_fp + latency_fp)
+        # Keep the bus tenant register consistent with the summary, so a
+        # slow op following this run attributes trailing events correctly.
+        self.events.tenant_id = tenant_id
         self.events.publish_op_batch(
             OpBatchSummary(
                 count=m,
@@ -194,5 +202,6 @@ class BatchAccessPath:
                 page_ids=ids,
                 base_fp=base_fp,
                 latency_fp=per_op_fp,
+                tenant_id=tenant_id,
             )
         )

@@ -61,6 +61,7 @@ from .policy import MigrationPolicy, NvmAdmission, PolicySlot
 from .space_manager import SpaceManager
 from .ssd_store import SsdStore
 from .stats import BufferStats, InclusivityTracker
+from .tenancy import TenancyConfig, TenancyControl
 from .tier_chain import BufferFullError, BufferPool, TierChain
 
 __all__ = [
@@ -91,6 +92,9 @@ class BufferManagerConfig:
     seed: int = 42
     #: Shard count of the mapping table.
     mapping_shards: int = 64
+    #: Multi-tenant layout and quota policy; None (the default) runs the
+    #: classic single-tenant paths with no tenancy machinery built.
+    tenancy: TenancyConfig | None = None
 
     def __post_init__(self) -> None:
         if self.mini_pages and not self.fine_grained:
@@ -150,16 +154,30 @@ class BufferManager:
                 "(it applies to the NVM→DRAM migration path)"
             )
         self.admission_queue: AdmissionQueue | None = None
+        queue_size: int | None = None
         if (
             policy.nvm_admission is NvmAdmission.ADMISSION_QUEUE
             and Tier.NVM in self.pools
         ):
-            size = self.config.admission_queue_size
-            if size is None:
-                size = recommended_queue_size(self.pools[Tier.NVM].max_entries)
-            self.admission_queue = AdmissionQueue(size)
+            queue_size = self.config.admission_queue_size
+            if queue_size is None:
+                queue_size = recommended_queue_size(
+                    self.pools[Tier.NVM].max_entries
+                )
+            self.admission_queue = AdmissionQueue(queue_size)
         self.engine = MigrationEngine(self.policy_slot, self.rng,
                                       self.admission_queue)
+        self.tenancy: TenancyControl | None = None
+        if self.config.tenancy is not None:
+            self.tenancy = TenancyControl.build(
+                self.config.tenancy, admission_queue_size=queue_size
+            )
+            if self.tenancy.admission_queues \
+                    and self.config.tenancy.num_tenants == 1:
+                # The single tenant's queue IS the manager's queue, so
+                # legacy reads of ``bm.admission_queue`` stay truthful.
+                self.tenancy.admission_queues = (self.admission_queue,)
+            self.engine.tenancy = self.tenancy
 
         # The four-component core.  Constructors take collaborators
         # explicitly; the mutually recursive links (evictions trigger
@@ -173,6 +191,7 @@ class BufferManager:
         self.access_path = AccessPath(self.chain, self.table, hierarchy,
                                       self.engine, self.store, self.events,
                                       self.policy_slot, self.config)
+        self.space.tenancy = self.tenancy
         self.fine_grained.bind(self.space)
         self.space.bind(self.fine_grained, self.flush_engine)
         self.flush_engine.bind(self.space)
@@ -259,23 +278,29 @@ class BufferManager:
     # Public access paths
     # ------------------------------------------------------------------
     def read(self, page_id: PageId, offset: int = 0,
-             nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
+             nbytes: int = CACHE_LINE_SIZE,
+             tenant_id: int = 0) -> AccessResult:
         """Serve a read of ``nbytes`` at ``offset`` within the page."""
-        return self.access_path.access(page_id, offset, nbytes, is_write=False)
+        return self.access_path.access(page_id, offset, nbytes,
+                                       is_write=False, tenant_id=tenant_id)
 
     def write(self, page_id: PageId, offset: int = 0,
-              nbytes: int = CACHE_LINE_SIZE) -> AccessResult:
+              nbytes: int = CACHE_LINE_SIZE,
+              tenant_id: int = 0) -> AccessResult:
         """Serve an in-place update of ``nbytes`` at ``offset``."""
-        return self.access_path.access(page_id, offset, nbytes, is_write=True)
+        return self.access_path.access(page_id, offset, nbytes,
+                                       is_write=True, tenant_id=tenant_id)
 
-    def read_batch(self, page_ids, offsets, nbytes: int = CACHE_LINE_SIZE) -> None:
+    def read_batch(self, page_ids, offsets, nbytes: int = CACHE_LINE_SIZE,
+                   tenant_id: int = 0) -> None:
         """Serve a batch of uniform-size reads in op order.
 
         Contiguous top-tier hits execute vectorized; all other ops fall
         back to the per-op walk.  State, statistics, costs, and events
         are identical to issuing the same :meth:`read` calls one by one.
+        A batch must not span tenants; callers split on tenant change.
         """
-        self.batch_path.read_batch(page_ids, offsets, nbytes)
+        self.batch_path.read_batch(page_ids, offsets, nbytes, tenant_id)
 
     # ------------------------------------------------------------------
     # Engine-facing pinned access

@@ -75,7 +75,7 @@ class EventType(enum.Enum):
 class BufferEvent:
     """One instrumentation record emitted by the tier chain."""
 
-    __slots__ = ("type", "page_id", "tier", "src", "dirty")
+    __slots__ = ("type", "page_id", "tier", "src", "dirty", "tenant_id")
 
     def __init__(
         self,
@@ -84,6 +84,7 @@ class BufferEvent:
         tier: Tier | None = None,
         src: Tier | None = None,
         dirty: bool = False,
+        tenant_id: int = 0,
     ) -> None:
         self.type = type
         self.page_id = page_id
@@ -92,6 +93,10 @@ class BufferEvent:
         #: Source tier for migrations / write-backs.
         self.src = src
         self.dirty = dirty
+        #: Tenant whose operation produced the event (0 for the default
+        #: single-tenant stream); copied from the bus's tenant register
+        #: at construction so slow-path subscribers see attribution too.
+        self.tenant_id = tenant_id
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         src = f", src={self.src.name}" if self.src is not None else ""
@@ -117,7 +122,8 @@ class OpBatchSummary:
     sequential run would have measured.
     """
 
-    __slots__ = ("count", "tier", "direct", "page_ids", "base_fp", "latency_fp")
+    __slots__ = ("count", "tier", "direct", "page_ids", "base_fp", "latency_fp",
+                 "tenant_id")
 
     def __init__(
         self,
@@ -127,6 +133,7 @@ class OpBatchSummary:
         page_ids,
         base_fp: int,
         latency_fp,
+        tenant_id: int = 0,
     ) -> None:
         self.count = count
         self.tier = tier
@@ -136,6 +143,9 @@ class OpBatchSummary:
         self.page_ids = page_ids
         self.base_fp = base_fp
         self.latency_fp = latency_fp
+        #: Tenant that issued every op in the run (runs never span
+        #: tenants; 0 for the default single-tenant stream).
+        self.tenant_id = tenant_id
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -154,7 +164,8 @@ class EventBus:
     iterations over the current tuple.
     """
 
-    __slots__ = ("_handlers", "_fast_appliers", "_batch_appliers", "_mutate_lock")
+    __slots__ = ("_handlers", "_fast_appliers", "_batch_appliers", "_mutate_lock",
+                 "tenant_id")
 
     def __init__(self) -> None:
         self._handlers: tuple[EventHandler, ...] = ()
@@ -166,6 +177,12 @@ class EventBus:
         #: the batch access path then falls back to per-op execution.
         self._batch_appliers: tuple[Callable, ...] | None = ()
         self._mutate_lock = threading.Lock()
+        #: The *tenant register*: the tenant id of the operation currently
+        #: being executed.  The access path sets it at each op's start;
+        #: tenant-aware subscribers (the metrics hub) read it instead of
+        #: widening the five-positional ``apply_event`` protocol, so every
+        #: existing subscriber keeps working unchanged.
+        self.tenant_id: int = 0
 
     def subscribe(self, handler: EventHandler) -> EventHandler:
         """Register ``handler`` and return it (for later unsubscribe)."""
@@ -256,7 +273,8 @@ class EventBus:
             for apply in appliers:
                 apply(type, page_id, tier, src, dirty)
             return
-        event = BufferEvent(type, page_id, tier, src, dirty)
+        event = BufferEvent(type, page_id, tier, src, dirty,
+                            tenant_id=self.tenant_id)
         for handler in self._handlers:
             handler(event)
 

@@ -69,13 +69,16 @@ class MigrationEngine:
     operation sees one policy.
     """
 
-    __slots__ = ("_policy_slot", "rng", "admission_queue")
+    __slots__ = ("_policy_slot", "rng", "admission_queue", "tenancy")
 
     def __init__(self, policy_slot, rng: random.Random,
                  admission_queue: AdmissionQueue | None = None) -> None:
         self._policy_slot = policy_slot
         self.rng = rng
         self.admission_queue = admission_queue
+        #: Optional :class:`~repro.core.tenancy.TenancyControl`; when set,
+        #: admission queues and policy overrides resolve per tenant.
+        self.tenancy = None
 
     # ------------------------------------------------------------------
     def decide(self, edge: Edge, op: MigrationOp, page_id: PageId,
@@ -89,6 +92,10 @@ class MigrationEngine:
         """
         if policy is None:
             policy = self._policy_slot.policy
+        if self.tenancy is not None:
+            override = self.tenancy.policy_for(page_id)
+            if override is not None:
+                policy = override
         if op is MigrationOp.PROMOTE_READ:
             return policy.promote_to_dram_on_read(self.rng)
         if op is MigrationOp.PROMOTE_WRITE:
@@ -96,7 +103,19 @@ class MigrationEngine:
         if op is MigrationOp.FETCH_ADMIT:
             return policy.admit_to_nvm_on_fetch(self.rng)
         if op in (MigrationOp.EVICT_ADMIT, MigrationOp.FLUSH_ADMIT):
-            if self.admission_queue is not None and edge.dst is Tier.NVM:
-                return self.admission_queue.should_admit(page_id)
+            if edge.dst is Tier.NVM:
+                queue = self._queue_for(page_id)
+                if queue is not None:
+                    return queue.should_admit(page_id)
             return policy.admit_to_nvm_on_eviction(self.rng)
         raise ValueError(f"unknown migration op {op}")  # pragma: no cover
+
+    def _queue_for(self, page_id: PageId) -> AdmissionQueue | None:
+        """The admission queue deciding NVM entry for this page.
+
+        With tenancy wired in, each tenant consults its own queue so one
+        tenant's eviction churn cannot flush another tenant's recently
+        denied pages out of the shared FIFO."""
+        if self.tenancy is not None and self.tenancy.admission_queues:
+            return self.tenancy.queue_for(page_id)
+        return self.admission_queue

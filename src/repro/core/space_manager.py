@@ -37,9 +37,16 @@ from .events import EventBus, EventType
 from .mapping_table import MappingTable
 from .migration import Edge, MigrationEngine, MigrationOp
 from .ssd_store import SsdStore
+from .tenancy import QuotaMode
 from .tier_chain import BufferFullError, TierChain, TierNode
 
 __all__ = ["SpaceManager"]
+
+#: Claimed-victim probes spent looking for a *preferred* (over-quota)
+#: victim before settling for the replacer's first candidate.  Bounded:
+#: preference is best-effort fairness, hard quotas are enforced by
+#: :meth:`SpaceManager._enforce_hard_quota` instead.
+_PREFERRED_VICTIM_PROBES = 8
 
 
 class SpaceManager:
@@ -58,6 +65,9 @@ class SpaceManager:
         #: the flush engine and made self-contained via fine-grained ops.
         self.fine = None
         self.flush = None
+        #: Optional :class:`~repro.core.tenancy.TenancyControl`; when it
+        #: enforces quotas, victim selection becomes tenant-aware.
+        self.tenancy = None
 
     def bind(self, fine, flush) -> None:
         self.fine = fine
@@ -73,6 +83,14 @@ class SpaceManager:
                      protect: PageId | None = None) -> None:
         node = self.chain.node(tier)
         pool = node.pool
+        tenancy = self.tenancy
+        enforcing = tenancy is not None and tenancy.enforcing
+        if enforcing and protect is not None \
+                and tenancy.config.quota_mode is QuotaMode.HARD:
+            # Hard partition: the incoming page's tenant must stay within
+            # its frame share even while the pool has free frames, so it
+            # first evicts one of its *own* pages when at quota.
+            self._enforce_hard_quota(node, protect)
         guard = 2 * pool.max_entries + 4
         misses = 0
         while pool.needs_space(incoming_bytes):
@@ -81,7 +99,10 @@ class SpaceManager:
                 raise BufferFullError(
                     f"unable to reclaim {incoming_bytes} B on {tier.name}"
                 )
-            victim = pool.pick_victim()
+            if enforcing:
+                victim = self._pick_preferred_victim(node, pool)
+            else:
+                victim = pool.pick_victim()
             if victim is None:
                 # Every frame is pinned or claimed by a concurrent
                 # evictor; retry briefly before giving up.
@@ -112,6 +133,95 @@ class SpaceManager:
         raise BufferFullError(  # pragma: no cover - defensive
             f"could not secure a {tier.name} frame for page {content.page_id}"
         )
+
+    # ------------------------------------------------------------------
+    # Tenant-aware victim selection
+    # ------------------------------------------------------------------
+    def _enforce_hard_quota(self, node: TierNode, incoming: PageId) -> None:
+        """Keep the incoming page's tenant within its hard frame share.
+
+        While the tenant holds at least its quota of frames on this
+        tier, one of its own (unpinned, un-claimed) pages is evicted
+        before the install proceeds — even when the pool has free
+        frames.  Pinned frames can leave the quota transiently breached;
+        that is unavoidable and resolves on the next insert.
+        """
+        tenancy = self.tenancy
+        pool = node.pool
+        tenant = tenancy.tenant_of(incoming)
+        quota = tenancy.quota_frames(node.tier, pool.max_entries, tenant)
+        guard = pool.max_entries + 4
+        while guard > 0:
+            guard -= 1
+            held = sum(
+                1 for descriptor in pool.descriptors()
+                if tenancy.tenant_of(descriptor.page_id) == tenant
+            )
+            if held < quota:
+                return
+            victim = self._pick_tenant_victim(pool, tenant, avoid=incoming)
+            if victim is None:
+                # Everything the tenant holds is pinned or claimed.
+                return
+            self.evict_from_node(node, victim)
+
+    def _pick_tenant_victim(self, pool, tenant: int,
+                            avoid: PageId) -> TierPageDescriptor | None:
+        """Claim a victim owned by ``tenant`` (skipping ``avoid``).
+
+        Sweeps the replacer, holding claims on other tenants' candidates
+        so repeated picks make progress; held claims are released before
+        returning.  Returns ``None`` once the replacer runs dry (all of
+        the tenant's frames are pinned or already claimed).
+        """
+        tenancy = self.tenancy
+        held: list[TierPageDescriptor] = []
+        try:
+            while True:
+                victim = pool.pick_victim()
+                if victim is None:
+                    return None
+                if victim.page_id != avoid \
+                        and tenancy.tenant_of(victim.page_id) == tenant:
+                    return victim
+                held.append(victim)
+        finally:
+            for descriptor in held:
+                pool.unclaim(descriptor)
+
+    def _pick_preferred_victim(self, node: TierNode,
+                               pool) -> TierPageDescriptor | None:
+        """Claim a victim, preferring tenants holding above their share.
+
+        Both quota modes use the same preference: a victim whose tenant
+        currently holds more frames than its share allows.  A bounded
+        number of claimed candidates is probed; if none is preferred the
+        replacer's first choice wins (soft shares are guarantees under
+        contention, not bans — and hard quotas are already enforced by
+        :meth:`_enforce_hard_quota` on the insert side).
+        """
+        tenancy = self.tenancy
+        usage = tenancy.usage_by_tenant(pool.descriptors())
+        max_entries = pool.max_entries
+        held: list[TierPageDescriptor] = []
+        chosen: TierPageDescriptor | None = None
+        try:
+            for _ in range(_PREFERRED_VICTIM_PROBES):
+                victim = pool.pick_victim()
+                if victim is None:
+                    break
+                tenant = tenancy.tenant_of(victim.page_id)
+                quota = tenancy.quota_frames(node.tier, max_entries, tenant)
+                if usage.get(tenant, 0) > quota:
+                    chosen = victim
+                    return chosen
+                held.append(victim)
+            if held:
+                chosen = held.pop(0)
+            return chosen
+        finally:
+            for descriptor in held:
+                pool.unclaim(descriptor)
 
     # ------------------------------------------------------------------
     # Eviction

@@ -1,0 +1,227 @@
+"""First-class tenant identity for the buffer manager core.
+
+ROADMAP item 2's "millions of users" scenario shares one DRAM–NVM–SSD
+hierarchy between N tenants with distinct mixes and SLOs.  This module
+is the core-side half of that story:
+
+* :class:`TenancyConfig` — a frozen, picklable description of the
+  tenant population: how page ids map to tenants (fixed strides), each
+  tenant's buffer share, the quota mode, and optional per-tenant policy
+  presets (Table 3 names),
+* :class:`TenantRegistry` — O(1) ``page_id -> tenant`` resolution via
+  stride arithmetic (each tenant owns one contiguous page range),
+* :class:`TenancyControl` — the runtime object the buffer manager wires
+  into the :class:`~repro.core.migration.MigrationEngine` and
+  :class:`~repro.core.space_manager.SpaceManager`: per-tenant
+  :class:`~repro.core.admission.AdmissionQueue` instances, per-tenant
+  policy overrides, and per-tier frame-quota arithmetic.
+
+Quota modes:
+
+* ``NONE`` — tenants share every pool freely (accounting only),
+* ``HARD`` — a tenant may never hold more frames on a tier than its
+  share allows; reaching the quota evicts one of the tenant's *own*
+  pages even while the pool has free frames,
+* ``SOFT`` — shares are minimum guarantees: victim selection prefers
+  tenants holding more than their share, so a tenant under its
+  min-share keeps its pages while the pool is contended, but unused
+  capacity is lent out freely.
+
+The default path stays byte-identical: a buffer manager built without a
+``TenancyConfig`` has ``tenancy=None`` everywhere and executes exactly
+the pre-tenancy code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..hardware.specs import Tier
+from ..pages.page import PageId
+from .admission import AdmissionQueue
+
+__all__ = [
+    "QuotaMode",
+    "TenancyConfig",
+    "TenancyControl",
+    "TenantRegistry",
+]
+
+
+class QuotaMode(enum.Enum):
+    """How per-tenant buffer shares are enforced."""
+
+    #: Accounting only — no enforcement (the single-tenant default).
+    NONE = "none"
+    #: Hard partition: a tenant can never exceed its share on a tier.
+    HARD = "hard"
+    #: Soft min-share: victims are preferentially taken from tenants
+    #: holding more than their share; unused capacity is lent out.
+    SOFT = "soft"
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Static multi-tenant layout and quota policy (picklable).
+
+    ``page_stride`` partitions the page-id space into fixed-size tenant
+    ranges: tenant ``i`` owns pages ``[i * stride, (i + 1) * stride)``.
+    Strides are sized by the workload layer with growth headroom, so
+    TPC-C's append-only regions never cross into a neighbour's range.
+    """
+
+    num_tenants: int = 1
+    #: Pages per tenant range (``page_id // page_stride`` is the tenant).
+    page_stride: int = 1 << 32
+    quota_mode: QuotaMode = QuotaMode.NONE
+    #: Per-tenant buffer-share fractions (one per tenant, summing to
+    #: <= 1.0); empty means equal shares.
+    shares: tuple[float, ...] = ()
+    #: Optional per-tenant policy preset names (Table 3 keys into
+    #: :data:`repro.core.policy.POLICY_PRESETS`); ``None`` entries (or
+    #: an empty tuple) inherit the buffer manager's policy.
+    policy_presets: tuple[str | None, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_tenants < 1:
+            raise ValueError("num_tenants must be >= 1")
+        if self.page_stride < 1:
+            raise ValueError("page_stride must be >= 1")
+        if self.shares and len(self.shares) != self.num_tenants:
+            raise ValueError("shares must have one entry per tenant")
+        if self.shares:
+            if any(share <= 0 for share in self.shares):
+                raise ValueError("tenant shares must be positive")
+            if sum(self.shares) > 1.0 + 1e-9:
+                raise ValueError("tenant shares must sum to <= 1.0")
+        if self.policy_presets and len(self.policy_presets) != self.num_tenants:
+            raise ValueError("policy_presets must have one entry per tenant")
+
+    @classmethod
+    def single(cls) -> "TenancyConfig":
+        """The plumbing-active single-tenant config: every op is tenant
+        0, quotas are unenforced, and behaviour is byte-identical to a
+        buffer manager built with ``tenancy=None`` (the ``--with-tenancy``
+        golden-figure leg proves this)."""
+        return cls(num_tenants=1)
+
+    def share_of(self, tenant_id: int) -> float:
+        if self.shares:
+            return self.shares[tenant_id]
+        return 1.0 / self.num_tenants
+
+
+class TenantRegistry:
+    """O(1) page-to-tenant resolution over fixed stride ranges."""
+
+    __slots__ = ("num_tenants", "page_stride")
+
+    def __init__(self, num_tenants: int, page_stride: int) -> None:
+        self.num_tenants = num_tenants
+        self.page_stride = page_stride
+
+    def tenant_of(self, page_id: PageId) -> int:
+        """The tenant owning ``page_id`` (clamped for safety: pages past
+        the last range belong to the last tenant)."""
+        tenant = page_id // self.page_stride
+        if tenant >= self.num_tenants:
+            return self.num_tenants - 1
+        return tenant
+
+    def base_page(self, tenant_id: int) -> PageId:
+        """First page id of a tenant's range."""
+        return tenant_id * self.page_stride
+
+
+@dataclass
+class TenancyControl:
+    """Runtime tenant machinery wired into the core components.
+
+    Built once per buffer manager from a :class:`TenancyConfig`; holds
+    live (unpicklable) state: per-tenant admission queues and resolved
+    per-tenant policy objects.
+    """
+
+    config: TenancyConfig
+    registry: TenantRegistry
+    #: Per-tenant NVM admission queues (empty when the policy does not
+    #: use an admission queue); indexed by tenant id.
+    admission_queues: tuple[AdmissionQueue, ...] = ()
+    #: Per-tenant policy overrides resolved from the config's preset
+    #: names; ``None`` entries inherit the manager's policy.
+    policies: tuple = ()
+    #: Per-tier, per-tenant frame quotas, resolved lazily from pool
+    #: capacities on first use.
+    _quota_cache: dict = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, config: TenancyConfig, *,
+              admission_queue_size: int | None = None) -> "TenancyControl":
+        registry = TenantRegistry(config.num_tenants, config.page_stride)
+        queues: tuple[AdmissionQueue, ...] = ()
+        if admission_queue_size is not None:
+            queues = tuple(
+                AdmissionQueue(admission_queue_size)
+                for _ in range(config.num_tenants)
+            )
+        policies = ()
+        if config.policy_presets:
+            from .policy import POLICY_PRESETS
+
+            policies = tuple(
+                POLICY_PRESETS[name] if name is not None else None
+                for name in config.policy_presets
+            )
+        return cls(config=config, registry=registry,
+                   admission_queues=queues, policies=policies)
+
+    # ------------------------------------------------------------------
+    # Per-tenant resolution
+    # ------------------------------------------------------------------
+    def tenant_of(self, page_id: PageId) -> int:
+        return self.registry.tenant_of(page_id)
+
+    def queue_for(self, page_id: PageId) -> AdmissionQueue | None:
+        """The admission queue of the page's owning tenant (or None)."""
+        if not self.admission_queues:
+            return None
+        return self.admission_queues[self.registry.tenant_of(page_id)]
+
+    def policy_for(self, page_id: PageId):
+        """The page's per-tenant policy override, or None to inherit."""
+        if not self.policies:
+            return None
+        return self.policies[self.registry.tenant_of(page_id)]
+
+    # ------------------------------------------------------------------
+    # Quota arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def enforcing(self) -> bool:
+        """True when victim selection must consult quotas at all."""
+        return (self.config.quota_mode is not QuotaMode.NONE
+                and self.config.num_tenants > 1)
+
+    def quota_frames(self, tier: Tier, max_entries: int,
+                     tenant_id: int) -> int:
+        """Frames the tenant's share allows on a tier (at least 1)."""
+        key = (tier, max_entries, tenant_id)
+        cached = self._quota_cache.get(key)
+        if cached is None:
+            cached = max(1, int(max_entries * self.config.share_of(tenant_id)))
+            self._quota_cache[key] = cached
+        return cached
+
+    def usage_by_tenant(self, descriptors) -> dict[int, int]:
+        """Frames held per tenant, from one pool's descriptor list."""
+        tenant_of = self.registry.tenant_of
+        usage: dict[int, int] = {}
+        for descriptor in descriptors:
+            tenant = tenant_of(descriptor.page_id)
+            usage[tenant] = usage.get(tenant, 0) + 1
+        return usage
+
+    def admission_stats(self) -> list[tuple[int, int, float]]:
+        """Per-tenant ``(considerations, admissions, rate)`` snapshots."""
+        return [queue.snapshot() for queue in self.admission_queues]

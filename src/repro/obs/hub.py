@@ -52,9 +52,17 @@ class MetricsHub:
 
     def __init__(self, registry: MetricsRegistry | None = None,
                  epoch_ns: float = DEFAULT_EPOCH_NS,
-                 fault_source=None) -> None:
+                 fault_source=None, track_tenants: bool = False) -> None:
         self.registry = registry or MetricsRegistry()
         self.epoch_ns = float(epoch_ns)
+        #: Project tenant-labelled series alongside the global ones:
+        #: ``tenant_ops_total{tenant,kind}`` counters and
+        #: ``tenant_op_latency_ns{tenant,kind}`` histograms.  Attribution
+        #: is exact by construction — the op's tenant is read from the
+        #: bus register at its OP event, and its latency bracket closes
+        #: into the histogram chosen there — so for any window the
+        #: tenant-labelled sums reconcile ±0 with the global totals.
+        self.track_tenants = bool(track_tenants)
         #: Optional fault-injection source (an object exposing a
         #: ``registry`` of ``faults_injected_total`` /
         #: ``device_retries_total`` / ``torn_writes_detected_total``
@@ -79,6 +87,11 @@ class MetricsHub:
         # Per-op bracketing state.
         self._op_start: float | None = None
         self._cur_hist: Histogram | None = None
+        #: Tenant histogram of the op currently in flight (parallel to
+        #: ``_cur_hist``, but chosen at the OP event, not the outcome).
+        self._tenant_cur_hist: Histogram | None = None
+        self._tenant_hists: dict[tuple[int, str], Histogram] = {}
+        self._tenant_counters: dict[tuple[int, str], Counter] = {}
         self._finalized = False
         # Resolved-per-attach metric handles (no registry lookups on the
         # hot path).
@@ -143,6 +156,7 @@ class MetricsHub:
             )
         self._op_start = None
         self._cur_hist = None
+        self._tenant_cur_hist = None
         self._finalized = False
         if self.fault_source is None:
             self.fault_source = getattr(bm.hierarchy, "fault_handle", None)
@@ -169,10 +183,28 @@ class MetricsHub:
         if start is not None:
             hist = self._cur_hist or self._miss_hist
             hist.observe(now - start)
+            if self._tenant_cur_hist is not None:
+                self._tenant_cur_hist.observe(now - start)
             self._op_start = None
             self._cur_hist = None
+            self._tenant_cur_hist = None
         if self._chain is not None:
             self._sample_epoch(now)
+        if self.track_tenants and self._bm is not None:
+            # Cumulative-since-construction admission stats, published
+            # once per window (same one-shot guard as the fault merge).
+            tenancy = getattr(self._bm, "tenancy", None)
+            if tenancy is not None and tenancy.admission_queues:
+                for tenant, (cons, adm, _rate) in enumerate(
+                    tenancy.admission_stats()
+                ):
+                    labels = {"tenant": str(tenant)}
+                    self.registry.counter(
+                        "tenant_admission_considerations_total", labels
+                    ).inc(cons)
+                    self.registry.counter(
+                        "tenant_admissions_total", labels
+                    ).inc(adm)
         source = self.fault_source
         if source is not None:
             # One-shot by construction: finalize runs once per window
@@ -215,6 +247,16 @@ class MetricsHub:
         hit_hist = self._hit_hists.get(summary.tier, self._miss_hist)
         if count > 1:
             hit_hist.observe_batch(starts[1:] - starts[:-1])
+        if self.track_tenants:
+            if start is not None and self._tenant_cur_hist is not None:
+                self._tenant_cur_hist.observe(float(starts[0]) - start)
+            tenant_hist, tenant_counter = self._tenant_handles(
+                summary.tenant_id, "read"
+            )
+            if count > 1:
+                tenant_hist.observe_batch(starts[1:] - starts[:-1])
+            self._tenant_cur_hist = tenant_hist
+            tenant_counter.inc(count)
         self._op_start = float(starts[-1])
         self._cur_hist = hit_hist
         self._finalized = False
@@ -243,8 +285,16 @@ class MetricsHub:
             self._finalized = False
             if etype is EventType.OP_READ:
                 self._reads.inc()
+                kind = "read"
             else:
                 self._writes.inc()
+                kind = "write"
+            if self.track_tenants:
+                if start is not None and self._tenant_cur_hist is not None:
+                    self._tenant_cur_hist.observe(now - start)
+                hist, counter = self._tenant_handles(self._bus.tenant_id, kind)
+                self._tenant_cur_hist = hist
+                counter.inc()
             if now >= self._next_epoch:
                 self._sample_epoch(now)
         elif etype is EventType.HIT:
@@ -282,6 +332,41 @@ class MetricsHub:
             self._clean_drops.inc()
         elif etype is EventType.FLUSH:
             self._flushes.inc()
+
+    # ------------------------------------------------------------------
+    # Tenant-labelled series
+    # ------------------------------------------------------------------
+    def _tenant_handles(self, tenant_id: int, kind: str):
+        """Resolve (lazily) the histogram+counter pair of one tenant/kind.
+
+        Lazy like the migration counters: only tenants that actually run
+        ops appear in the registry, keeping single-tenant exports free
+        of phantom series.
+        """
+        key = (tenant_id, kind)
+        hist = self._tenant_hists.get(key)
+        if hist is None:
+            labels = {"tenant": str(tenant_id), "kind": kind}
+            hist = self.registry.histogram("tenant_op_latency_ns", labels)
+            self._tenant_hists[key] = hist
+            self._tenant_counters[key] = self.registry.counter(
+                "tenant_ops_total", labels
+            )
+        return hist, self._tenant_counters[key]
+
+    def tenant_latency_count(self) -> int:
+        """Total observations across tenant-labelled histograms.
+
+        Reconciles ±0 with :meth:`op_latency_count` after
+        :meth:`finalize` when tenant tracking is on: every global
+        bracket flush is mirrored by exactly one tenant flush.
+        """
+        total = 0
+        for series in self.registry.series():
+            if isinstance(series, Histogram) \
+                    and series.name == "tenant_op_latency_ns":
+                total += series.count
+        return total
 
     # ------------------------------------------------------------------
     # Epoch gauges

@@ -1,5 +1,6 @@
 """Workloads: YCSB, TPC-C, Zipfian generation, and trace replay."""
 
+from .tenancy import MultiTenantWorkload, TenantAccess, TenantSpec
 from .tpcc import GB_PER_WAREHOUSE, PageAccess, TpccWorkload
 from .tpcc_engine import TpccEngine, TpccStats
 from .ycsb_engine import YcsbEngine, YcsbEngineStats
@@ -31,11 +32,14 @@ __all__ = [
     "COLUMN_SIZE",
     "GB_PER_WAREHOUSE",
     "MIXES",
+    "MultiTenantWorkload",
     "NUM_COLUMNS",
     "Operation",
     "OpKind",
     "PageAccess",
     "ScrambledZipfianGenerator",
+    "TenantAccess",
+    "TenantSpec",
     "Trace",
     "TpccEngine",
     "TpccStats",

@@ -55,6 +55,17 @@ class TestQueueSemantics:
     def test_empty_rate(self):
         assert AdmissionQueue(1).admission_rate == 0.0
 
+    def test_snapshot_is_consistent_triple(self):
+        queue = AdmissionQueue(8)
+        assert queue.snapshot() == (0, 0, 0.0)
+        for _ in range(2):
+            for page in range(4):
+                queue.should_admit(page)
+        considerations, admissions, rate = queue.snapshot()
+        assert considerations == queue.considerations == 8
+        assert admissions == queue.admissions == 4
+        assert rate == pytest.approx(admissions / considerations)
+
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             AdmissionQueue(0)

@@ -22,6 +22,9 @@ class TestRegistry:
         assert "queue_size" in REGISTRY
         assert "replacement" in REGISTRY
 
+    def test_includes_tenant_isolation(self):
+        assert "tenants" in REGISTRY
+
     def test_all_entries_are_callables(self):
         assert all(callable(fn) for fn in REGISTRY.values())
 
