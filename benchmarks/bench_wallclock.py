@@ -44,6 +44,21 @@ The measurements, written to ``BENCH_repro.json`` next to this script
   tagged run stays within ``--tenancy-overhead-budget`` (default 3%)
   of the untagged baseline.
 
+* **telemetry overhead** — the same cell bare and then with the full
+  live telemetry plane attached: a streaming
+  :class:`~repro.bench.telemetry.TelemetryChannel` (progress events
+  draining into a background aggregator) plus sampled decision tracing
+  (``decision_tracing(0.05)``).  Interleaved pairs, and the guard reads
+  the *minimum* attached/detached ratio over the pairs — the same
+  estimator as the tenancy guard — against
+  ``--telemetry-overhead-budget`` (default 5%).
+
+Every run also appends one summary line (git sha, cpu budget, ops/s,
+speedups, overhead fractions, pass/fail) to the append-only
+``BENCH_history.jsonl`` next to this script (``--history PATH`` moves
+it, ``--no-history`` skips it), so perf drift is inspectable across
+commits without diffing whole reports.
+
 Both use fixed seeds, so reruns on one machine are comparable; numbers
 across machines are not (and the simulated throughputs inside the cell
 are machine-independent by design — only the wall clock varies).
@@ -276,6 +291,78 @@ def time_cell_tenancy(overhead_budget: float,
     }, violations
 
 
+def time_cell_telemetry(overhead_budget: float,
+                        repeats: int = 3) -> tuple[dict, list[str]]:
+    """Bare-vs-telemetry-attached cell timing (pairwise minimum).
+
+    The attached leg runs the same fixed-seed cell inside a live
+    telemetry scope — a real manager-queue channel with a draining
+    aggregator — plus decision tracing at a realistic 5% sample.  The
+    guard reads the minimum attached/bare ratio over interleaved pairs
+    (see :func:`time_cell_tenancy` for why the minimum) against
+    ``overhead_budget``, and asserts structurally that tracing was
+    actually live (the attached result carries a decision trace) and
+    that progress events actually flowed through the channel.
+    """
+    import io
+
+    from repro.bench.executor import decision_tracing, telemetry_channel
+    from repro.bench.telemetry import ProgressAggregator, open_channel
+
+    violations: list[str] = []
+    cell = bench_cell()
+    channel = open_channel()
+    aggregator = ProgressAggregator(channel, stream=io.StringIO()).start()
+    bare = attached = None
+    attached_res = None
+    ratios = []
+    try:
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            run_cell(cell)
+            bare_elapsed = time.perf_counter() - t0
+            if bare is None or bare_elapsed < bare:
+                bare = bare_elapsed
+            with telemetry_channel(channel), decision_tracing(0.05):
+                t0 = time.perf_counter()
+                attached_res = run_cell(cell)
+                attached_elapsed = time.perf_counter() - t0
+            if attached is None or attached_elapsed < attached:
+                attached = attached_elapsed
+            ratios.append(attached_elapsed / bare_elapsed)
+    finally:
+        aggregator.stop(final_line=False)
+        channel.close()
+    overhead = min(ratios) - 1.0
+    if overhead > overhead_budget:
+        violations.append(
+            f"telemetry overhead {overhead:+.1%} exceeds the "
+            f"{overhead_budget:.0%} budget "
+            f"(bare {bare:.3f}s, attached {attached:.3f}s)"
+        )
+    if attached_res.decision_trace is None:
+        violations.append(
+            "telemetry-attached cell carried no decision trace — "
+            "decision tracing was not actually active"
+        )
+    events = aggregator.summary()["events_seen"]
+    if events == 0:
+        violations.append(
+            "telemetry-attached cell emitted no progress events — "
+            "the channel was not actually wired into the harness"
+        )
+    return {
+        "bare_wall_seconds": round(bare, 3),
+        "attached_wall_seconds": round(attached, 3),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": overhead_budget,
+        "progress_events": events,
+        "decision_spans": (
+            len(attached_res.decision_trace["spans"])
+            if attached_res.decision_trace else 0),
+    }, violations
+
+
 def matrix_cell(index: int) -> Cell:
     """One cell of the figure-matrix-style parallel batch."""
     return Cell.tpcc(f"bench/matrix-{index}", SHAPE, SPITFIRE_LAZY, DB_GB,
@@ -471,6 +558,54 @@ def check_ratchet(report: dict, baseline_path: Path,
     return violations
 
 
+def git_sha() -> str | None:
+    """The current commit (short), or None outside a git checkout."""
+    try:
+        import subprocess
+
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).parent,
+        )
+        return proc.stdout.strip() or None
+    except Exception:
+        return None
+
+
+def history_entry(report: dict, check_passed: bool) -> dict:
+    """One flat append-only line summarizing this run."""
+    parallel = report.get("parallel") or {}
+    batched = report.get("inner_loop_batched") or {}
+    return {
+        "ts": round(time.time(), 3),
+        "git_sha": git_sha(),
+        "python": report["python"],
+        "machine": report["machine"],
+        "usable_cpus": usable_cpus(),
+        "inner_loop_ops_per_second": report["inner_loop"]["ops_per_second"],
+        "batched_ops_per_second": batched.get("ops_per_second"),
+        "batch_speedup": batched.get("speedup_vs_per_op"),
+        "parallel_speedup": parallel.get("speedup"),
+        "cell_wall_seconds": report["cell"]["wall_seconds"],
+        "metrics_overhead_fraction":
+            report["cell_with_metrics"]["overhead_fraction"],
+        "tenancy_overhead_fraction":
+            report["cell_with_tenancy"]["overhead_fraction"],
+        "telemetry_overhead_fraction":
+            report["cell_with_telemetry"]["overhead_fraction"],
+        "check_passed": check_passed,
+    }
+
+
+def append_history(path: Path, entry: dict) -> Path:
+    """Append one JSON line to the run-history log (append-only)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=4, metavar="N",
@@ -491,6 +626,21 @@ def main(argv: list[str] | None = None) -> int:
                              "tagging over an untagged metrics run "
                              "(default: 0.03; CI uses a wider budget to "
                              "absorb shared-runner noise)")
+    parser.add_argument("--telemetry-overhead-budget", type=float,
+                        default=0.05, metavar="FRAC",
+                        help="max fractional wall-clock overhead of the "
+                             "attached live-telemetry plane (streaming "
+                             "channel + decision tracing) over a bare run "
+                             "(default: 0.05; CI uses a wider budget to "
+                             "absorb shared-runner noise)")
+    parser.add_argument("--history", metavar="PATH",
+                        default=str(Path(__file__).parent
+                                    / "BENCH_history.jsonl"),
+                        help="append-only JSONL run-history log "
+                             "(default: BENCH_history.jsonl next to this "
+                             "script)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to the run-history log")
     parser.add_argument("--metrics-out", metavar="DIR",
                         help="also write the attached cell's metrics as "
                              "Prometheus text + JSONL under DIR")
@@ -524,6 +674,10 @@ def main(argv: list[str] | None = None) -> int:
         args.tenancy_overhead_budget, repeats=args.repeats
     )
     violations.extend(tenancy_violations)
+    telemetry_report, telemetry_violations = time_cell_telemetry(
+        args.telemetry_overhead_budget, repeats=args.repeats
+    )
+    violations.extend(telemetry_violations)
     inner = time_inner_loop(args.repeats)
     inner_batched = time_inner_loop_batched(
         args.repeats, inner["ops_per_second"], args.profile_out
@@ -536,6 +690,7 @@ def main(argv: list[str] | None = None) -> int:
         "cell": time_cell_serial(),
         "cell_with_metrics": metrics_report,
         "cell_with_tenancy": tenancy_report,
+        "cell_with_telemetry": telemetry_report,
     }
     if inner_batched is not None:
         report["inner_loop_batched"] = inner_batched
@@ -560,6 +715,10 @@ def main(argv: list[str] | None = None) -> int:
     violations.extend(ratchet_violations)
     for violation in violations:
         print(f"PERF GUARD FAILED: {violation}")
+    if not args.no_history:
+        history = append_history(Path(args.history),
+                                 history_entry(report, not violations))
+        print(f"appended run summary to {history}")
     return 1 if violations else 0
 
 

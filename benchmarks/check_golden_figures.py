@@ -37,6 +37,17 @@ machinery, and the result carries a per-tenant breakdown.  Byte-
 identity here is the multi-tenant refactor's core contract: tenant
 plumbing at the default tenant is free.
 
+``--with-telemetry`` regenerates with the **entire live telemetry
+plane** attached: a streaming worker-progress channel (manager-queue
+backed, drained by a background aggregator), decision tracing in every
+cell (``decision_tracing(0.05)``), and a live Prometheus scrape
+endpoint (:class:`~repro.obs.server.MetricsServer`) hit by a
+background scraper thread *while the figures regenerate* — which is
+why this flag implies ``--with-metrics``.  Byte-identity here is the
+telemetry plane's core contract: watching a run live changes nothing
+about its results.  The gate also asserts at least one mid-run scrape
+actually succeeded, so it cannot pass vacuously.
+
 ``--prewarm-pool`` creates and warms the persistent worker pool
 *before* any of the scopes above are entered.  This is the adversarial
 ordering for context propagation: the workers are forked first, so
@@ -53,9 +64,10 @@ Usage::
     python benchmarks/check_golden_figures.py --with-faults-disabled
     python benchmarks/check_golden_figures.py --with-batching
     python benchmarks/check_golden_figures.py --with-tenancy
+    python benchmarks/check_golden_figures.py --with-telemetry --jobs 4
     python benchmarks/check_golden_figures.py --jobs 4 --prewarm-pool \
         --with-metrics --with-batching --with-faults-disabled \
-        --with-tenancy
+        --with-tenancy --with-telemetry
 """
 
 from __future__ import annotations
@@ -86,12 +98,16 @@ BATCHING_BATCH_SIZE = 1024
 def check(experiment_id: str, jobs: int, with_metrics: bool = False,
           with_faults_disabled: bool = False,
           with_batching: bool = False,
-          with_tenancy: bool = False) -> bool:
+          with_tenancy: bool = False,
+          with_telemetry: bool = False) -> bool:
     golden = RESULTS_DIR / f"{experiment_id}.json"
     if not golden.exists():
         print(f"FAIL {experiment_id}: no archived result at {golden}")
         return False
     started = time.time()
+    # The live scrape endpoint serves the merged metrics sink, so the
+    # telemetry leg needs per-cell collection on.
+    with_metrics = with_metrics or with_telemetry
     scope = metrics_collection() if with_metrics else contextlib.nullcontext([])
     fault_scope = contextlib.nullcontext()
     if with_faults_disabled:
@@ -109,8 +125,20 @@ def check(experiment_id: str, jobs: int, with_metrics: bool = False,
         from repro.bench.executor import tenant_tagging
 
         tenancy_scope = tenant_tagging()
-    with scope as sink, fault_scope, batch_scope, tenancy_scope:
+    scrapes = {"ok": 0, "fail": 0}
+    with contextlib.ExitStack() as stack:
+        sink = stack.enter_context(scope)
+        stack.enter_context(fault_scope)
+        stack.enter_context(batch_scope)
+        stack.enter_context(tenancy_scope)
+        if with_telemetry:
+            _attach_telemetry_plane(stack, sink, scrapes)
         result = REGISTRY[experiment_id](quick=True, jobs=jobs)
+    if with_telemetry and scrapes["ok"] == 0:
+        print(f"FAIL {experiment_id}: live metrics endpoint was never "
+              f"scraped successfully ({scrapes['fail']} failed attempts) "
+              f"— the telemetry leg would pass vacuously")
+        return False
     with tempfile.TemporaryDirectory() as tmp:
         fresh = result.save_json(tmp)
         fresh_bytes = fresh.read_bytes()
@@ -123,6 +151,9 @@ def check(experiment_id: str, jobs: int, with_metrics: bool = False,
         mode += f", batched at {BATCHING_BATCH_SIZE}"
     if with_tenancy:
         mode += ", tenant tagging on"
+    if with_telemetry:
+        mode += (f", live telemetry on, {scrapes['ok']} mid-run "
+                 f"scrape(s)")
     if fresh_bytes == golden_bytes:
         print(f"OK   {experiment_id}: byte-identical to {golden} "
               f"({len(golden_bytes)} bytes, {elapsed:.1f}s{mode})")
@@ -131,6 +162,57 @@ def check(experiment_id: str, jobs: int, with_metrics: bool = False,
           f"({elapsed:.1f}s)")
     _explain(golden_bytes, fresh_bytes)
     return False
+
+
+def _attach_telemetry_plane(stack: contextlib.ExitStack, sink: list,
+                            scrapes: dict) -> None:
+    """Attach every telemetry observer the gate must prove harmless.
+
+    Streaming progress channel (drained by a silent aggregator),
+    decision tracing in every cell, and a live Prometheus endpoint
+    polled by a background scraper thread for the duration of the
+    regeneration.  Everything tears down via ``stack``.
+    """
+    import io
+    import threading
+
+    from repro.bench.executor import decision_tracing, telemetry_channel
+    from repro.bench.telemetry import ProgressAggregator, open_channel
+    from repro.obs.export import merge_snapshots, prometheus_text
+    from repro.obs.server import MetricsServer
+
+    channel = open_channel()
+    aggregator = ProgressAggregator(channel, stream=io.StringIO()).start()
+    stack.callback(channel.close)
+    stack.callback(aggregator.stop, False)
+    stack.enter_context(telemetry_channel(channel))
+    stack.enter_context(decision_tracing(0.05))
+
+    def provider() -> str:
+        return prometheus_text(
+            merge_snapshots(result.metrics for _, result in list(sink)))
+
+    server = stack.enter_context(MetricsServer(provider))
+    stop = threading.Event()
+
+    def scraper() -> None:
+        while not stop.is_set():
+            try:
+                server.scrape(timeout=2.0)
+                scrapes["ok"] += 1
+            except Exception:
+                scrapes["fail"] += 1
+            stop.wait(0.2)
+
+    thread = threading.Thread(target=scraper, name="golden-scraper",
+                              daemon=True)
+    thread.start()
+
+    def join_scraper() -> None:
+        stop.set()
+        thread.join(timeout=5.0)
+
+    stack.callback(join_scraper)
 
 
 def _explain(golden_bytes: bytes, fresh_bytes: bytes) -> None:
@@ -173,6 +255,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="enable tenant tagging (single-tenant "
                              "TenancyConfig, every op tagged tenant 0) in "
                              "every cell; the JSON must stay byte-identical")
+    parser.add_argument("--with-telemetry", action="store_true",
+                        help="attach the live telemetry plane (streaming "
+                             "progress channel, decision tracing, HTTP "
+                             "scrape endpoint polled mid-run; implies "
+                             "--with-metrics); the JSON must stay "
+                             "byte-identical and >= 1 scrape must succeed")
     parser.add_argument("--prewarm-pool", action="store_true",
                         help="fork and warm the persistent worker pool "
                              "BEFORE entering any --with-* scope, so context "
@@ -195,7 +283,8 @@ def main(argv: list[str] | None = None) -> int:
         if not check(e, args.jobs, with_metrics=args.with_metrics,
                      with_faults_disabled=args.with_faults_disabled,
                      with_batching=args.with_batching,
-                     with_tenancy=args.with_tenancy)
+                     with_tenancy=args.with_tenancy,
+                     with_telemetry=args.with_telemetry)
     ]
     return 1 if failures else 0
 

@@ -156,6 +156,9 @@ class Cell:
     #: to the result.  Also forced on for every cell while
     #: :func:`tenant_tagging` is active.
     track_tenants: bool = False
+    #: Page fraction for decision-span sampling (0 = off); the ambient
+    #: :func:`decision_tracing` scope overrides it for every cell.
+    trace_decisions: float = 0.0
 
     def __post_init__(self) -> None:
         if self.quota_mode not in ("none", "hard", "soft"):
@@ -269,6 +272,10 @@ _fault_plan_var: contextvars.ContextVar[bytes | None] = contextvars.ContextVar(
     "repro_fault_plan", default=None)
 _tenancy_on_var: contextvars.ContextVar[bool] = contextvars.ContextVar(
     "repro_tenancy_on", default=False)
+_telemetry_var: contextvars.ContextVar[object | None] = contextvars.ContextVar(
+    "repro_telemetry", default=None)
+_decision_fraction_var: contextvars.ContextVar[float | None] = \
+    contextvars.ContextVar("repro_decision_fraction", default=None)
 
 
 @dataclass(frozen=True)
@@ -284,6 +291,14 @@ class ExecContext:
     batch_size: int | None = None
     fault_plan_payload: bytes | None = None
     tenant_tagging: bool = False
+    #: Ambient :class:`~repro.bench.telemetry.TelemetryChannel`, or None.
+    #: Manager-queue-backed channels pickle (the proxy crosses process
+    #: boundaries); the in-process fallback degrades to a no-op emitter
+    #: inside workers.  Compared by identity in ``is_default`` — the
+    #: default context carries None.
+    telemetry: object | None = None
+    #: Page fraction for decision-span sampling, or None (tracing off).
+    decision_fraction: float | None = None
 
     @property
     def is_default(self) -> bool:
@@ -296,10 +311,14 @@ class ExecContext:
             _batch_size_var.set(self.batch_size),
             _fault_plan_var.set(self.fault_plan_payload),
             _tenancy_on_var.set(self.tenant_tagging),
+            _telemetry_var.set(self.telemetry),
+            _decision_fraction_var.set(self.decision_fraction),
         )
         try:
             yield self
         finally:
+            _decision_fraction_var.reset(tokens[5])
+            _telemetry_var.reset(tokens[4])
             _tenancy_on_var.reset(tokens[3])
             _fault_plan_var.reset(tokens[2])
             _batch_size_var.reset(tokens[1])
@@ -316,6 +335,8 @@ def current_context() -> ExecContext:
         batch_size=_batch_size_var.get(),
         fault_plan_payload=_fault_plan_var.get(),
         tenant_tagging=_tenancy_on_var.get(),
+        telemetry=_telemetry_var.get(),
+        decision_fraction=_decision_fraction_var.get(),
     )
 
 
@@ -421,6 +442,57 @@ def fault_plan_injection(plan):
         yield plan
     finally:
         _fault_plan_var.reset(token)
+
+
+def active_telemetry():
+    """The ambient TelemetryChannel, or None."""
+    return _telemetry_var.get()
+
+
+@contextlib.contextmanager
+def telemetry_channel(channel):
+    """Stream live progress from every cell run in this scope.
+
+    ``channel`` is a :class:`~repro.bench.telemetry.TelemetryChannel`;
+    each :func:`run_cell` emits cell start/progress/end events through
+    it, and the chaos matrix emits per-case events.  The channel is
+    strictly out-of-band: it carries wall-clock progress only, never
+    touches result payloads, and a dead transport degrades to silent
+    no-ops — so figure JSON stays byte-identical with the channel
+    attached at any ``--jobs`` (``check_golden_figures.py
+    --with-telemetry`` enforces exactly this).
+    """
+    token = _telemetry_var.set(channel)
+    try:
+        yield channel
+    finally:
+        _telemetry_var.reset(token)
+
+
+def active_decision_fraction() -> float | None:
+    """The ambient decision-span sampling fraction, or None."""
+    return _decision_fraction_var.get()
+
+
+@contextlib.contextmanager
+def decision_tracing(fraction: float = 1.0):
+    """Attach a DecisionRecorder to every cell run in this scope.
+
+    Each cell's measurement window gets a
+    :class:`~repro.obs.decisions.DecisionRecorder` recording every
+    migration/admission/eviction decision (spans sampled at
+    ``fraction`` by deterministic page-id hash); results carry the
+    trace in ``RunResult.decision_trace``.  The recorder is read-only
+    on the decision path by contract, so tracing cannot perturb RNG
+    draws or admission-queue state — figure output stays byte-identical.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    token = _decision_fraction_var.set(fraction)
+    try:
+        yield fraction
+    finally:
+        _decision_fraction_var.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -844,6 +916,17 @@ def run_cell(cell: Cell) -> RunResult:
         config = replace(config, tenancy=TenancyConfig.single())
 
     bm = BufferManager(hierarchy, cell.policy, config)
+    channel = active_telemetry()
+    progress = None
+    if channel is not None:
+        channel.emit(
+            "cell_start", cell=cell.label,
+            expected_ops=cell.effort.warmup_ops + cell.effort.measure_ops,
+        )
+        progress = channel.progress_callback(cell.label)
+    fraction = active_decision_fraction()
+    if fraction is None:
+        fraction = cell.trace_decisions
     runner = WorkloadRunner(
         bm,
         RunConfig(
@@ -855,25 +938,41 @@ def run_cell(cell: Cell) -> RunResult:
             collect_metrics=cell.collect_metrics or metrics_collected(),
             batch_size=active_batch_size() or cell.batch_size,
             track_tenants=tagging,
+            progress=progress,
+            progress_every_ops=(channel.every_ops if channel is not None
+                                else RunConfig.progress_every_ops),
+            trace_decisions=fraction,
         ),
     )
-    if multi is not None:
-        return runner.measure_tenants(
-            multi, label=cell.label,
-            extra_worker_counts=cell.extra_worker_counts,
-        )
-    if spec.kind == "ycsb":
-        num_tuples = cell.scale.pages(spec.db_gb) * TUPLES_PER_PAGE
-        workload = YcsbWorkload(num_tuples=num_tuples, mix=MIXES[spec.mix],
-                                skew=spec.skew, seed=spec.seed)
-        return runner.measure_ycsb(
-            workload, extra_worker_counts=cell.extra_worker_counts
-        )
-    workload = TpccWorkload(db_gigabytes=spec.db_gb, scale=cell.scale,
-                            seed=spec.seed)
-    return runner.measure_tpcc(
-        workload, extra_worker_counts=cell.extra_worker_counts
-    )
+    try:
+        if multi is not None:
+            result = runner.measure_tenants(
+                multi, label=cell.label,
+                extra_worker_counts=cell.extra_worker_counts,
+            )
+        elif spec.kind == "ycsb":
+            num_tuples = cell.scale.pages(spec.db_gb) * TUPLES_PER_PAGE
+            workload = YcsbWorkload(num_tuples=num_tuples,
+                                    mix=MIXES[spec.mix],
+                                    skew=spec.skew, seed=spec.seed)
+            result = runner.measure_ycsb(
+                workload, extra_worker_counts=cell.extra_worker_counts
+            )
+        else:
+            workload = TpccWorkload(db_gigabytes=spec.db_gb,
+                                    scale=cell.scale, seed=spec.seed)
+            result = runner.measure_tpcc(
+                workload, extra_worker_counts=cell.extra_worker_counts
+            )
+    except Exception as exc:
+        if channel is not None:
+            channel.emit("cell_error", cell=cell.label,
+                         error=f"{type(exc).__name__}: {exc}")
+        raise
+    if channel is not None:
+        channel.emit("cell_end", cell=cell.label,
+                     operations=result.operations)
+    return result
 
 
 def _cell_weight(cell: Cell) -> float:

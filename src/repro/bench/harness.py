@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from ..core.buffer_manager import BufferManager
 from ..core.stats import BufferStats
 from ..hardware.specs import Tier
+from ..obs.decisions import DecisionRecorder
 from ..obs.hub import DEFAULT_EPOCH_NS, MetricsHub
 from ..obs.tracer import PageLifecycleTracer
 from .event_trace import EventTraceRecorder
@@ -74,6 +75,20 @@ class RunConfig:
     #: window (implies a hub attaches even without ``collect_metrics``);
     #: the run result then carries a per-tenant breakdown.
     track_tenants: bool = False
+    #: Optional live-progress hook ``progress(phase, done, total)``,
+    #: called every ``progress_every_ops`` operations during warm-up and
+    #: measurement (phases ``"warmup"`` / ``"measure"``).  Strictly
+    #: out-of-band: the hook sees wall-clock progress only and must
+    #: never touch the measured system.
+    progress: object | None = None
+    #: Operations between progress calls (per-op loops; batched loops
+    #: report once per chunk, which is coarser).
+    progress_every_ops: int = 2_000
+    #: Fraction of pages whose migration/admission/eviction decisions
+    #: are recorded as full spans by a
+    #: :class:`~repro.obs.decisions.DecisionRecorder` (0 = tracing off;
+    #: decision *counters* are complete whenever tracing is on).
+    trace_decisions: float = 0.0
 
 
 @dataclass
@@ -106,6 +121,9 @@ class RunResult:
     #: Per-tenant op counts and latency quantiles, keyed by tenant id
     #: (only when ``RunConfig.track_tenants``).
     tenant_breakdown: dict[int, dict] | None = None
+    #: Sampled decision spans plus a per-policy digest (only when
+    #: ``RunConfig.trace_decisions`` > 0).
+    decision_trace: dict | None = None
 
     @property
     def throughput_kops(self) -> float:
@@ -500,15 +518,26 @@ class WorkloadRunner:
         config = self.config
         batch_size = max(1, config.batch_size)
         use_batch = batch_step is not None and batch_size > 1
+        progress = config.progress
+        progress_every = max(1, config.progress_every_ops)
         if use_batch:
             remaining = config.warmup_ops
+            warmed = 0
             while remaining > 0:
                 chunk = min(batch_size, remaining)
                 batch_step(chunk)
                 remaining -= chunk
+                warmed += chunk
+                if progress is not None:
+                    progress("warmup", warmed, config.warmup_ops)
         else:
-            for _ in range(config.warmup_ops):
+            for index in range(config.warmup_ops):
                 step()
+                if progress is not None \
+                        and (index + 1) % progress_every == 0:
+                    progress("warmup", index + 1, config.warmup_ops)
+            if progress is not None and config.warmup_ops % progress_every:
+                progress("warmup", config.warmup_ops, config.warmup_ops)
         # Warm-up traffic does not count toward the measurement (§6.1:
         # "we warm up the system until the buffer pool is full").
         self.hierarchy.reset_accounting()
@@ -520,6 +549,7 @@ class WorkloadRunner:
         trace = None
         hub = None
         tracer = None
+        decisions = None
         try:
             if config.trace_events:
                 trace = EventTraceRecorder().attach(self.bm)
@@ -530,6 +560,13 @@ class WorkloadRunner:
             if config.trace_page_fraction > 0:
                 tracer = PageLifecycleTracer(config.trace_page_fraction)
                 tracer.attach(self.bm)
+            if config.trace_decisions > 0:
+                decisions = DecisionRecorder(
+                    config.trace_decisions).attach(self.bm)
+                if hub is not None:
+                    # Merged once into the hub registry at finalize, the
+                    # same one-shot contract as the fault-source merge.
+                    hub.decision_source = decisions
 
             sample_every = max(1, config.inclusivity_sample_every)
             if use_batch:
@@ -547,11 +584,20 @@ class WorkloadRunner:
                     done += chunk
                     if done % sample_every == 0:
                         self.bm.sample_inclusivity()
+                    if progress is not None:
+                        progress("measure", done, config.measure_ops)
             else:
                 for index in range(config.measure_ops):
                     step()
                     if (index + 1) % sample_every == 0:
                         self.bm.sample_inclusivity()
+                    if progress is not None \
+                            and (index + 1) % progress_every == 0:
+                        progress("measure", index + 1, config.measure_ops)
+                if progress is not None \
+                        and config.measure_ops % progress_every:
+                    progress("measure", config.measure_ops,
+                             config.measure_ops)
             if self.bm.inclusivity.num_samples == 0:
                 self.bm.sample_inclusivity()
         finally:
@@ -559,6 +605,8 @@ class WorkloadRunner:
                 trace.detach()
             if hub is not None:
                 hub.detach()  # flushes the in-flight op first
+            if decisions is not None:
+                decisions.detach()
             if tracer is not None:
                 tracer.detach()
         operations = config.measure_ops
@@ -588,5 +636,8 @@ class WorkloadRunner:
             tenant_breakdown=(
                 tenant_breakdown(metrics_snapshot)
                 if config.track_tenants else None
+            ),
+            decision_trace=(
+                decisions.report() if decisions is not None else None
             ),
         )

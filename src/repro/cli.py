@@ -8,7 +8,13 @@ Usage::
     repro-experiments --all --jobs 8     # fan cells out over 8 processes
     repro-experiments fig14 --out results/
     repro-experiments fig6 --metrics-out metrics.prom
-    repro-experiments chaos --seeds 1 7 --jobs 4 --out chaos.json
+    repro-experiments --all --live       # streaming worker progress
+    repro-experiments fig6 --trace-decisions 0.05 \\
+        --metrics-out m.prom --decision-trace-out decisions.jsonl
+    repro-experiments serve-metrics fig6 --metrics-out m.prom
+    repro-experiments report results/run_summary.json
+    repro-experiments report --diff OLD.json NEW.json
+    repro-experiments chaos --seeds 1 7 --jobs 4 --out chaos.json --live
 
 Each experiment prints a paper-style text table and (with ``--out``)
 writes a JSON result file for archival/plotting.  ``--metrics-out``
@@ -31,12 +37,27 @@ an experiment: every consistency-relevant boundary of a deterministic
 reference workload gets a crash-and-recover replay, with WAL-tail and
 torn-page hazards layered on top (see ``docs/FAULTS.md``).  The JSON
 report is byte-identical for any ``--jobs`` value.
+
+The live telemetry plane rides strictly out-of-band of all of this:
+``--live`` streams worker progress (cells running, phase, percent,
+ops/s, ETA) to stderr; ``--trace-decisions FRAC`` records a sampled
+trace of the migration engine's admit/deny decisions; the
+``serve-metrics`` subcommand exposes the Prometheus exporter over HTTP
+*while the run executes* and asserts the final scrape is byte-for-byte
+the file export; the ``report`` subcommand renders the
+``run_summary.json`` a run leaves under ``--out`` and diffs two
+``BENCH_repro.json``-style wall-clock reports into a regression table.
+None of it changes result bytes — ``check_golden_figures.py
+--with-telemetry`` regenerates figures with every observer attached and
+requires identical JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import contextvars
+import json
 import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -49,6 +70,10 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve-metrics":
+        return serve_metrics_main(argv[1:])
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the Spitfire (SIGMOD '21) evaluation.",
@@ -65,11 +90,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes per experiment (default: 1; "
                              "results are identical at any job count)")
     parser.add_argument("--out", metavar="DIR",
-                        help="directory for JSON result files")
+                        help="directory for JSON result files (plus a "
+                             "run_summary.json digest for the report "
+                             "subcommand)")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="collect per-cell metrics and write Prometheus "
                              "text exposition to PATH (and a JSONL snapshot "
                              "stream to PATH with a .jsonl suffix)")
+    _add_telemetry_arguments(parser)
+    parser.add_argument("--decision-trace-out", metavar="PATH",
+                        help="write the sampled decision spans as JSONL to "
+                             "PATH (implies per-cell collection; needs "
+                             "--trace-decisions to record anything)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -77,6 +109,31 @@ def main(argv: list[str] | None = None) -> int:
             print(experiment_id)
         return 0
 
+    chosen = _resolve_chosen(parser, args)
+    _validate_trace_fraction(parser, args)
+
+    from .bench import executor
+
+    collect = bool(args.metrics_out or args.decision_trace_out)
+    aggregator = None
+    with contextlib.ExitStack() as stack:
+        if args.live:
+            aggregator = _attach_live(stack, executor)
+        if args.trace_decisions:
+            stack.enter_context(
+                executor.decision_tracing(args.trace_decisions))
+        sink, records = _run_experiments(chosen, args, collect=collect)
+    if args.metrics_out:
+        _export_metrics(args.metrics_out, sink)
+    if args.decision_trace_out:
+        _export_decision_traces(args.decision_trace_out, sink)
+    if args.out:
+        _write_run_summary(args.out, records, sink if collect else None,
+                           aggregator)
+    return 0
+
+
+def _resolve_chosen(parser, args) -> list[str]:
     chosen = list(REGISTRY) if args.all else args.experiments
     if not chosen:
         parser.error("no experiments selected (use ids, --all, or --list)")
@@ -86,15 +143,46 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)}; "
             f"choose from {', '.join(REGISTRY)}"
         )
-
-    sink = _run_experiments(chosen, args)
-    if args.metrics_out:
-        _export_metrics(args.metrics_out, sink)
-    return 0
+    return chosen
 
 
-def _run_experiments(chosen: list[str], args) -> list:
-    """Run the selected experiments; returns the merged metrics sink.
+def _add_telemetry_arguments(parser) -> None:
+    parser.add_argument("--live", action="store_true",
+                        help="stream worker progress (cells, phase, ops/s, "
+                             "ETA) to stderr while the run executes")
+    parser.add_argument("--trace-decisions", type=float, default=None,
+                        metavar="FRAC",
+                        help="record migration/admission/eviction decision "
+                             "spans for a hash-sampled page fraction "
+                             "(0 < FRAC <= 1; result JSON is unchanged)")
+
+
+def _validate_trace_fraction(parser, args) -> None:
+    fraction = args.trace_decisions
+    if fraction is not None and not 0.0 < fraction <= 1.0:
+        parser.error("--trace-decisions must be in (0, 1]")
+
+
+def _attach_live(stack: contextlib.ExitStack, executor):
+    """Enter a live-telemetry scope on ``stack``; returns the aggregator."""
+    from .bench.telemetry import ProgressAggregator, open_channel
+
+    channel = open_channel()
+    aggregator = ProgressAggregator(channel).start()
+    stack.callback(channel.close)
+    stack.callback(aggregator.stop)
+    stack.enter_context(executor.telemetry_channel(channel))
+    return aggregator
+
+
+def _run_experiments(chosen: list[str], args,
+                     collect: bool | None = None) -> tuple[list, list]:
+    """Run the selected experiments.
+
+    Returns ``(sink, records)``: the merged metrics sink (``(label,
+    RunResult)`` pairs in paper order) and one summary record per
+    experiment (id, title, wall time, series/point counts, decision
+    digest) for the run summary.
 
     One experiment (or ``--jobs 1``) runs inline.  Several experiments
     with ``--jobs N`` open a suite-wide run session: the persistent
@@ -102,11 +190,15 @@ def _run_experiments(chosen: list[str], args) -> list:
     list concurrently so the shared pool schedules cells from multiple
     figures as one batch.  Each driver collects metrics into its own
     per-experiment sink; concatenating the sinks in paper order makes
-    the merged export byte-identical to a sequential run.
+    the merged export byte-identical to a sequential run.  Passing
+    ``collect=False`` leaves any *ambient* metrics scope in charge
+    (``serve-metrics`` enters one around the whole suite so the live
+    endpoint sees cells as they finish).
     """
     from .bench import executor
 
-    collect = bool(args.metrics_out)
+    if collect is None:
+        collect = bool(args.metrics_out)
     quick = not args.full
 
     def drive(experiment_id: str):
@@ -117,16 +209,27 @@ def _run_experiments(chosen: list[str], args) -> list:
         else:
             sink = []
             result = REGISTRY[experiment_id](quick=quick, jobs=args.jobs)
-        return result, sink, time.time() - started
+        record = {
+            "experiment_id": experiment_id,
+            "title": result.title,
+            "elapsed_s": round(time.time() - started, 3),
+            "series": len(result.series),
+            "points": sum(len(s.points) for s in result.series.values()),
+        }
+        digest = _decision_digest(sink)
+        if digest is not None:
+            record["decisions"] = digest
+        return result, sink, record
 
-    def emit(experiment_id: str, result, elapsed: float) -> None:
+    def emit(experiment_id: str, result, record: dict) -> None:
         print(result.render())
-        print(f"   [{experiment_id} took {elapsed:.1f}s]\n")
+        print(f"   [{experiment_id} took {record['elapsed_s']:.1f}s]\n")
         if args.out:
             path = result.save_json(args.out)
             print(f"   saved {path}")
 
     merged: list = []
+    records: list = []
     if args.jobs > 1 and len(chosen) > 1:
         with executor.run_session(jobs=args.jobs) as session:
             # Each driver runs in a copy of this thread's context, so
@@ -140,16 +243,41 @@ def _run_experiments(chosen: list[str], args) -> list:
                     for experiment_id in chosen
                 ]
                 for experiment_id, future in zip(chosen, futures):
-                    result, sink, elapsed = future.result()
-                    emit(experiment_id, result, elapsed)
+                    result, sink, record = future.result()
+                    emit(experiment_id, result, record)
                     merged.extend(sink)
+                    records.append(record)
             print(f"   [{session.describe()}]")
     else:
         for experiment_id in chosen:
-            result, sink, elapsed = drive(experiment_id)
-            emit(experiment_id, result, elapsed)
+            result, sink, record = drive(experiment_id)
+            emit(experiment_id, result, record)
             merged.extend(sink)
-    return merged
+            records.append(record)
+    return merged, records
+
+
+def _decision_digest(sink) -> dict | None:
+    """Aggregate per-cell decision-trace summaries, or None if untraced."""
+    cells = spans = dropped = 0
+    fraction = None
+    for _, result in sink:
+        trace = getattr(result, "decision_trace", None)
+        if not trace:
+            continue
+        summary = trace["summary"]
+        cells += 1
+        spans += summary["spans_recorded"]
+        dropped += summary["spans_dropped"]
+        fraction = summary["sample_fraction"]
+    if not cells:
+        return None
+    return {
+        "cells": cells,
+        "spans_recorded": spans,
+        "spans_dropped": dropped,
+        "sample_fraction": fraction,
+    }
 
 
 def chaos_main(argv: list[str]) -> int:
@@ -181,6 +309,9 @@ def chaos_main(argv: list[str]) -> int:
                                           "during the workload (default: 0)")
     parser.add_argument("--out", metavar="PATH",
                         help="write the JSON report to PATH")
+    parser.add_argument("--live", action="store_true",
+                        help="stream per-case progress to stderr while the "
+                             "matrix runs (the report is unchanged)")
     args = parser.parse_args(argv)
 
     from .faults.crashpoints import (
@@ -203,7 +334,10 @@ def chaos_main(argv: list[str]) -> int:
     # The crash matrix shares the suite's persistent pool: a session
     # warms it once up front, then every CrashCase flows through it as
     # chunked tasks (the report stays byte-identical at any --jobs).
-    with executor.run_session(jobs=args.jobs):
+    with contextlib.ExitStack() as stack:
+        if args.live:
+            _attach_live(stack, executor)
+        stack.enter_context(executor.run_session(jobs=args.jobs))
         report = run_crash_matrix(
             policies=tuple(args.policies),
             seeds=tuple(seeds),
@@ -258,6 +392,159 @@ def _export_metrics(out_path: str, sink) -> None:
           f"op_latency_ns count={latency_count}, "
           f"stats reads+writes={totals.reads + totals.writes}")
     print(f"   wrote {path} and {jsonl_path}")
+
+
+def _export_decision_traces(out_path: str, sink) -> None:
+    """Write every cell's sampled decision spans as one JSONL stream."""
+    from .obs.decisions import decision_trace_jsonl_lines
+    from .obs.export import write_jsonl
+
+    lines: list[str] = []
+    cells = 0
+    for label, result in sink:
+        trace = getattr(result, "decision_trace", None)
+        if not trace:
+            continue
+        cells += 1
+        lines.extend(decision_trace_jsonl_lines(trace, label))
+    path = write_jsonl(out_path, lines)
+    print(f"   decision trace: {cells} cell(s), {len(lines)} span(s) "
+          f"-> {path}")
+
+
+def _write_run_summary(out_dir: str, records: list, sink,
+                       aggregator) -> None:
+    """Drop ``run_summary.json`` next to the per-figure JSON files."""
+    from .bench.reporting import build_run_summary
+    from .obs.export import merge_snapshots
+
+    registry = None
+    if sink is not None:
+        registry = merge_snapshots(result.metrics for _, result in sink)
+    summary = build_run_summary(
+        records, registry=registry,
+        telemetry=aggregator.summary() if aggregator is not None else None,
+        generated_at=time.time(),
+    )
+    path = Path(out_dir) / "run_summary.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"   saved {path}")
+
+
+def serve_metrics_main(argv: list[str]) -> int:
+    """``repro-experiments serve-metrics``: live Prometheus endpoint.
+
+    Runs the selected experiments with one suite-wide metrics scope and
+    serves the merged registry over HTTP *while they execute* — every
+    scrape sees all cells finished so far.  After the run, the final
+    scrape is asserted byte-for-byte equal to the file export (when
+    ``--metrics-out`` is given) or to the in-memory rendering, and a
+    mismatch fails the command — the contract CI smoke-tests.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve-metrics",
+        description="Run experiments while serving the Prometheus "
+                    "exporter over HTTP, scrapable live mid-run.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig6 table2)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment in paper order")
+    parser.add_argument("--full", action="store_true",
+                        help="full effort (longer runs, more points)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to serve on (default: 0 = pick free)")
+    parser.add_argument("--out", metavar="DIR",
+                        help="directory for JSON result files")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="also write the final export to PATH and "
+                             "assert the last scrape equals it exactly")
+    _add_telemetry_arguments(parser)
+    args = parser.parse_args(argv)
+
+    chosen = _resolve_chosen(parser, args)
+    _validate_trace_fraction(parser, args)
+
+    from .bench import executor
+    from .obs.export import merge_snapshots, prometheus_text
+    from .obs.server import MetricsServer
+
+    with contextlib.ExitStack() as stack:
+        # One suite-wide metrics scope: the pool appends each finished
+        # cell to this sink, so the provider renders a growing registry.
+        sink = stack.enter_context(executor.metrics_collection())
+
+        def provider() -> str:
+            return prometheus_text(
+                merge_snapshots(result.metrics for _, result in list(sink)))
+
+        server = stack.enter_context(
+            MetricsServer(provider, host=args.host, port=args.port))
+        print(f"   serving live metrics at {server.url}")
+        if args.live:
+            _attach_live(stack, executor)
+        if args.trace_decisions:
+            stack.enter_context(
+                executor.decision_tracing(args.trace_decisions))
+        _run_experiments(chosen, args, collect=False)
+        final_scrape = server.scrape()
+        served = server.requests_served
+    expected = provider()
+    if args.metrics_out:
+        _export_metrics(args.metrics_out, sink)
+        expected = Path(args.metrics_out).read_text()
+    matches = final_scrape == expected
+    print(f"   served {served} scrape(s); final scrape "
+          f"{'==' if matches else '!='} "
+          f"{'file export' if args.metrics_out else 'merged registry'}")
+    if not matches:
+        print("   SERVE-METRICS FAILED: final scrape diverged from the "
+              "export")
+    return 0 if matches else 1
+
+
+def report_main(argv: list[str]) -> int:
+    """``repro-experiments report``: render a run summary or diff two
+    wall-clock reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments report",
+        description="Render a run_summary.json digest, or --diff two "
+                    "BENCH_repro.json-style reports into a regression "
+                    "table (exit 1 on regressions).",
+    )
+    parser.add_argument("summary", nargs="?",
+                        help="run_summary.json written by a --out run")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="diff two BENCH_repro.json-style files")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="relative move a direction-aware metric may "
+                             "make before --diff flags it (default: 0.10)")
+    parser.add_argument("--show-unchanged", action="store_true",
+                        help="include rows within tolerance in the table")
+    args = parser.parse_args(argv)
+
+    from .bench.reporting import (
+        diff_bench_reports,
+        render_bench_diff,
+        render_run_summary,
+    )
+
+    if args.diff:
+        old = json.loads(Path(args.diff[0]).read_text())
+        new = json.loads(Path(args.diff[1]).read_text())
+        diff = diff_bench_reports(old, new, tolerance=args.tolerance)
+        print(render_bench_diff(diff, show_unchanged=args.show_unchanged))
+        return 0 if diff["ok"] else 1
+    if not args.summary:
+        parser.error("provide a run_summary.json path or --diff OLD NEW")
+    summary = json.loads(Path(args.summary).read_text())
+    print(render_run_summary(summary))
+    return 0
 
 
 if __name__ == "__main__":

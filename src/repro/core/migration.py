@@ -69,7 +69,7 @@ class MigrationEngine:
     operation sees one policy.
     """
 
-    __slots__ = ("_policy_slot", "rng", "admission_queue", "tenancy")
+    __slots__ = ("_policy_slot", "rng", "admission_queue", "tenancy", "probe")
 
     def __init__(self, policy_slot, rng: random.Random,
                  admission_queue: AdmissionQueue | None = None) -> None:
@@ -79,6 +79,14 @@ class MigrationEngine:
         #: Optional :class:`~repro.core.tenancy.TenancyControl`; when set,
         #: admission queues and policy overrides resolve per tenant.
         self.tenancy = None
+        #: Optional decision probe (see
+        #: :class:`~repro.obs.decisions.DecisionRecorder`).  Called once
+        #: per decision, *after* the outcome is fixed, with the edge, op,
+        #: page, resolved policy, consulted queue (or None), and the
+        #: outcome — strictly read-only by contract: a probe must never
+        #: draw from the RNG or mutate the admission queue, so attaching
+        #: one cannot perturb the decision stream.
+        self.probe = None
 
     # ------------------------------------------------------------------
     def decide(self, edge: Edge, op: MigrationOp, page_id: PageId,
@@ -96,19 +104,26 @@ class MigrationEngine:
             override = self.tenancy.policy_for(page_id)
             if override is not None:
                 policy = override
+        queue = None
         if op is MigrationOp.PROMOTE_READ:
-            return policy.promote_to_dram_on_read(self.rng)
-        if op is MigrationOp.PROMOTE_WRITE:
-            return policy.route_write_through_dram(self.rng)
-        if op is MigrationOp.FETCH_ADMIT:
-            return policy.admit_to_nvm_on_fetch(self.rng)
-        if op in (MigrationOp.EVICT_ADMIT, MigrationOp.FLUSH_ADMIT):
+            admitted = policy.promote_to_dram_on_read(self.rng)
+        elif op is MigrationOp.PROMOTE_WRITE:
+            admitted = policy.route_write_through_dram(self.rng)
+        elif op is MigrationOp.FETCH_ADMIT:
+            admitted = policy.admit_to_nvm_on_fetch(self.rng)
+        elif op in (MigrationOp.EVICT_ADMIT, MigrationOp.FLUSH_ADMIT):
             if edge.dst is Tier.NVM:
                 queue = self._queue_for(page_id)
-                if queue is not None:
-                    return queue.should_admit(page_id)
-            return policy.admit_to_nvm_on_eviction(self.rng)
-        raise ValueError(f"unknown migration op {op}")  # pragma: no cover
+            if queue is not None:
+                admitted = queue.should_admit(page_id)
+            else:
+                admitted = policy.admit_to_nvm_on_eviction(self.rng)
+        else:
+            raise ValueError(f"unknown migration op {op}")  # pragma: no cover
+        probe = self.probe
+        if probe is not None:
+            probe.record_decision(op, edge, page_id, admitted, policy, queue)
+        return admitted
 
     def _queue_for(self, page_id: PageId) -> AdmissionQueue | None:
         """The admission queue deciding NVM entry for this page.

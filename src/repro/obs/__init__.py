@@ -14,14 +14,22 @@ full telemetry surface:
   install → migrate → evict → write-back spans with sim timestamps,
 * :mod:`repro.obs.export` — Prometheus text exposition and JSONL
   snapshot streams, plus deterministic snapshot merging for per-worker
-  results coming back from the process-pool executor.
+  results coming back from the process-pool executor,
+* :mod:`repro.obs.decisions` — a :class:`DecisionRecorder` probing the
+  migration engine's admit/deny decisions and eviction victims, with
+  hash-sampled decision spans and per-policy counters,
+* :mod:`repro.obs.server` — :class:`MetricsServer`, a stdlib HTTP
+  endpoint serving the Prometheus exporter live mid-run.
 
 Every subscriber implements the bus's ``apply_event`` fast-path
 protocol, so attaching observability never knocks the bus off its
 allocation-free emission path.
 """
 
+from .decisions import DecisionRecorder
 from .export import (
+    METRIC_HELP,
+    escape_label_value,
     merge_snapshots,
     prometheus_text,
     snapshot_jsonl_lines,
@@ -30,16 +38,21 @@ from .export import (
 )
 from .hub import MetricsHub
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .server import MetricsServer
 from .tracer import PageLifecycleTracer, TraceSpan
 
 __all__ = [
     "Counter",
+    "DecisionRecorder",
     "Gauge",
     "Histogram",
+    "METRIC_HELP",
     "MetricsHub",
     "MetricsRegistry",
+    "MetricsServer",
     "PageLifecycleTracer",
     "TraceSpan",
+    "escape_label_value",
     "merge_snapshots",
     "prometheus_text",
     "snapshot_jsonl_lines",

@@ -24,6 +24,52 @@ from pathlib import Path
 
 from .metrics import BUCKET_BOUNDS, Histogram, MetricsRegistry
 
+#: ``# HELP`` text per metric family.  Families without an entry render
+#: with no HELP line (valid exposition); keeping the catalogue here —
+#: not on the series objects — keeps the hot-path metric types slim.
+METRIC_HELP: dict[str, str] = {
+    "buffer_ops_total": "Logical buffer operations by kind.",
+    "buffer_misses_total": "Accesses served from the SSD store.",
+    "tier_hits_total": "Accesses served from a buffered tier.",
+    "tier_installs_total": "Pages installed into a tier.",
+    "tier_evictions_total": "Pages evicted from a tier.",
+    "tier_write_backs_total": "Dirty pages written back from a tier.",
+    "clean_drops_total": "Clean pages dropped without write-back.",
+    "dirty_page_flushes_total": "Checkpoint-driven dirty page flushes.",
+    "migrations_total": "Page migrations by direction and tier edge.",
+    "op_latency_ns": "Simulated per-operation latency by outcome.",
+    "tier_occupancy_ratio": "Fraction of a tier's capacity in use.",
+    "tier_dirty_ratio": "Fraction of a tier's pages that are dirty.",
+    "tenant_ops_total": "Logical buffer operations by tenant and kind.",
+    "tenant_op_latency_ns":
+        "Simulated per-operation latency by tenant and kind.",
+    "tenant_admission_considerations_total":
+        "Admission-queue consultations by tenant.",
+    "tenant_admissions_total": "Admission-queue admissions by tenant.",
+    "faults_injected_total": "Faults injected by device and kind.",
+    "device_retries_total": "Device retries after transient faults.",
+    "torn_writes_detected_total": "Torn writes detected at crash time.",
+    "migration_decisions_total":
+        "Migration-engine decisions by op, edge, outcome, and policy.",
+    "eviction_victims_total":
+        "Eviction victims by tier and dirty/clean class.",
+    "admission_queue_depth":
+        "Admission-queue depth observed at each consultation.",
+}
+
+#: Label-value escaping per the exposition format: backslash, quote,
+#: and newline must be escaped inside the double-quoted value.
+_LABEL_ESCAPES = str.maketrans({
+    "\\": r"\\",
+    '"': r"\"",
+    "\n": r"\n",
+})
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value for the text exposition format."""
+    return str(value).translate(_LABEL_ESCAPES)
+
 
 def _format_value(value: float) -> str:
     """Render a sample value: integral floats without the trailing .0."""
@@ -44,7 +90,9 @@ def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()
     pairs = [(key, labels[key]) for key in sorted(labels)] + list(extra)
     if not pairs:
         return ""
-    rendered = ",".join(f'{key}="{value}"' for key, value in pairs)
+    rendered = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in pairs
+    )
     return f"{{{rendered}}}"
 
 
@@ -57,6 +105,9 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         kinds[series.name] = series.kind
     lines: list[str] = []
     for name in sorted(families):
+        help_text = METRIC_HELP.get(name)
+        if help_text is not None:
+            lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {kinds[name]}")
         for series in families[name]:
             if isinstance(series, Histogram):

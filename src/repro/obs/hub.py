@@ -74,6 +74,15 @@ class MetricsHub:
         #: :func:`~repro.faults.injector.inject_faults` stashed on the
         #: buffer manager's hierarchy.
         self.fault_source = fault_source
+        #: Optional decision source (an object exposing a ``registry``
+        #: of ``migration_decisions_total`` / ``eviction_victims_total``
+        #: counters and the ``admission_queue_depth`` histogram —
+        #: typically a :class:`~repro.obs.decisions.DecisionRecorder`
+        #: attached over the same window).  Like ``fault_source``, its
+        #: snapshot merges into this hub's registry exactly once at
+        #: finalize, so exported metrics carry per-policy decision
+        #: histograms with no extra plumbing.
+        self.decision_source = None
         #: One record per epoch tick: sim time plus per-tier occupancy
         #: and dirty ratios — the time series behind "how did the DRAM
         #: dirty ratio evolve before the checkpoint?".
@@ -211,6 +220,10 @@ class MetricsHub:
             # (guarded by ``_finalized``), so fault counters merge
             # exactly once into this hub's registry.
             self.registry.merge_snapshot(source.registry.snapshot())
+        decisions = self.decision_source
+        if decisions is not None:
+            # Same one-shot guard as the fault merge above.
+            self.registry.merge_snapshot(decisions.registry.snapshot())
 
     # ------------------------------------------------------------------
     # Bus protocol

@@ -22,6 +22,7 @@ set-membership test.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
 
 from ..core.events import EventType
@@ -83,7 +84,12 @@ class PageLifecycleTracer:
         #: Hash threshold: page ids whose 32-bit hash falls below it are
         #: traced.  fraction=1 traces everything, fraction=0 nothing.
         self._threshold = int(fraction * (_HASH_MASK + 1))
-        self._spans: dict[int, list[TraceSpan]] = {}
+        #: Ring buffers: each page keeps its *last* ``max_spans_per_page``
+        #: spans, so a long run's memory is bounded while the trace still
+        #: shows where a page ended up.  Overwritten spans are counted in
+        #: :attr:`spans_dropped` rather than silently lost.
+        self._spans: dict[int, deque[TraceSpan]] = {}
+        self._dropped = 0
         self._lock = threading.Lock()
         self._bus = None
         self._cost = None
@@ -127,9 +133,13 @@ class PageLifecycleTracer:
             dirty=dirty,
         )
         with self._lock:
-            spans = self._spans.setdefault(page_id, [])
-            if len(spans) < self.max_spans_per_page:
-                spans.append(span)
+            spans = self._spans.get(page_id)
+            if spans is None:
+                spans = self._spans[page_id] = deque(
+                    maxlen=self.max_spans_per_page)
+            if len(spans) == self.max_spans_per_page:
+                self._dropped += 1
+            spans.append(span)
 
     # ------------------------------------------------------------------
     # Queries
@@ -151,12 +161,26 @@ class PageLifecycleTracer:
         return f"page {page_id}: " + " -> ".join(s.describe() for s in spans)
 
     def snapshot(self) -> dict:
-        """JSON-able trace payload keyed by page id (as strings)."""
+        """JSON-able trace payload: per-page spans plus drop accounting.
+
+        ``pages`` maps page ids (as strings) to span-dict lists — each
+        list is the page's *most recent* ``max_spans_per_page`` spans;
+        ``spans_dropped`` counts spans the ring buffers overwrote.
+        """
         with self._lock:
             return {
-                str(page_id): [span.as_dict() for span in spans]
-                for page_id, spans in sorted(self._spans.items())
+                "pages": {
+                    str(page_id): [span.as_dict() for span in spans]
+                    for page_id, spans in sorted(self._spans.items())
+                },
+                "spans_dropped": self._dropped,
             }
+
+    @property
+    def spans_dropped(self) -> int:
+        """Spans overwritten by per-page ring buffers so far."""
+        with self._lock:
+            return self._dropped
 
     @property
     def num_spans(self) -> int:

@@ -36,6 +36,51 @@ class TestRunning:
         assert payload["experiment_id"] == "table1"
 
 
+class TestTelemetryPlane:
+    def test_live_flag_smokes(self, capsys):
+        assert main(["table1", "--live"]) == 0
+        assert "table1 took" in capsys.readouterr().out
+
+    def test_out_writes_run_summary(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        summary = json.loads((tmp_path / "run_summary.json").read_text())
+        assert summary["schema"] == "repro-run-summary/1"
+        assert summary["experiments"][0]["experiment_id"] == "table1"
+        assert "generated_at" in summary
+
+    def test_report_renders_run_summary(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "run_summary.json")]) == 0
+        out = capsys.readouterr().out
+        assert "== run report ==" in out
+        assert "table1" in out
+
+    def test_report_diff_flags_regressions(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps({"cell": {"ops_per_second": 1000.0}}))
+        new.write_text(json.dumps({"cell": {"ops_per_second": 500.0}}))
+        assert main(["report", "--diff", str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "FAIL: 1 regression(s)" in out
+        # A loose tolerance turns the same movement into a pass.
+        assert main(["report", "--diff", str(old), str(new),
+                     "--tolerance", "0.6"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_serve_metrics_final_scrape_matches_export(self, tmp_path,
+                                                       capsys):
+        prom = tmp_path / "metrics.prom"
+        assert main(["serve-metrics", "table1",
+                     "--metrics-out", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "serving live metrics at http://127.0.0.1:" in out
+        assert "final scrape == file export" in out
+        assert prom.exists()
+
+
 class TestChaos:
     def test_chaos_runs_and_writes_report(self, tmp_path, capsys):
         out_path = tmp_path / "chaos.json"
@@ -58,6 +103,15 @@ class TestChaos:
         assert main(args + ["--jobs", "1", "--out", str(serial)]) == 0
         assert main(args + ["--jobs", "2", "--out", str(parallel)]) == 0
         assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_chaos_live_does_not_change_report(self, tmp_path, capsys):
+        plain = tmp_path / "plain.json"
+        live = tmp_path / "live.json"
+        args = ["chaos", "--seed", "1", "--policies", "DRAM_SSD",
+                "--no-tail-faults"]
+        assert main(args + ["--out", str(plain)]) == 0
+        assert main(args + ["--live", "--out", str(live)]) == 0
+        assert plain.read_bytes() == live.read_bytes()
 
     def test_chaos_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):

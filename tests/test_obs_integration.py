@@ -84,7 +84,9 @@ class TestHarnessMetrics:
         runner = make_runner(trace_page_fraction=1.0)
         result = runner.measure_ycsb(small_workload())
         assert result.page_traces
-        first = next(iter(result.page_traces.values()))
+        assert result.page_traces["spans_dropped"] >= 0
+        assert result.page_traces["pages"]
+        first = next(iter(result.page_traces["pages"].values()))
         assert {"sim_ns", "event", "tier", "src", "dirty"} <= set(first[0])
 
     def test_resource_usage_always_present(self):

@@ -98,9 +98,29 @@ class TestTracing:
 
         _, tracer, _ = self.run_traced()
         snap = tracer.snapshot()
-        assert snap
-        assert all(isinstance(key, str) for key in snap)
+        assert snap["pages"]
+        assert snap["spans_dropped"] == 0
+        assert all(isinstance(key, str) for key in snap["pages"])
         json.dumps(snap)  # JSON-able end to end
+
+    def test_ring_buffer_keeps_latest_spans(self):
+        bm = make_bm(policy=SPITFIRE_EAGER, pages_per_gb=8)
+        tracer = PageLifecycleTracer(1.0, max_spans_per_page=2).attach(bm)
+        page_ids = [bm.allocate_page() for _ in range(40)]
+        for _ in range(3):
+            for page_id in page_ids:
+                bm.read(page_id)
+        tracer.detach()
+        # Some page cycled through more than two lifecycle transitions,
+        # so the ring overwrote its oldest spans and counted them.
+        assert tracer.spans_dropped > 0
+        assert tracer.snapshot()["spans_dropped"] == tracer.spans_dropped
+        # A capped page keeps its *latest* spans: once more than two
+        # transitions happened, "install" (always first) is gone.
+        capped = [p for p in tracer.traced_pages()
+                  if len(tracer.journey(p)) == 2]
+        assert capped
+        assert any(tracer.journey(p)[0].event != "install" for p in capped)
 
     def test_detach_restores_bus(self):
         bm = make_bm(policy=SPITFIRE_EAGER)

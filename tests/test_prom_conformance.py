@@ -1,0 +1,246 @@
+"""Prometheus text-exposition conformance (satellite S3).
+
+A strict, purpose-built parser for the exposition format, then a
+round-trip over :func:`~repro.obs.export.prometheus_text`: HELP/TYPE
+ordering and uniqueness, family grouping, label-value escaping, and
+histogram consistency (cumulative buckets, ``+Inf`` == ``_count``,
+``_sum`` present).  Anything a real Prometheus scraper would reject
+should fail here first.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.export import (
+    METRIC_HELP,
+    escape_label_value,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) (.*)$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|histogram)$")
+_SAMPLE_RE = re.compile(rf"^({_NAME})(\{{.*\}})? (\S+)$")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of the exposition escaping, strict about lone backslashes."""
+    out = []
+    chars = iter(value)
+    for char in chars:
+        if char != "\\":
+            out.append(char)
+            continue
+        escaped = next(chars)  # StopIteration == dangling backslash: invalid
+        if escaped == "n":
+            out.append("\n")
+        elif escaped in ("\\", '"'):
+            out.append(escaped)
+        else:
+            raise ValueError(f"invalid escape \\{escaped} in {value!r}")
+    return "".join(out)
+
+
+def parse_labels(text: str) -> dict[str, str]:
+    """Parse ``{k="v",...}`` with full escape handling."""
+    assert text.startswith("{") and text.endswith("}")
+    body = text[1:-1]
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(body):
+        match = re.match(rf"({_NAME})=\"", body[index:])
+        assert match, f"malformed label pair at {body[index:]!r}"
+        key = match.group(1)
+        index += match.end()
+        value_chars = []
+        while True:
+            char = body[index]
+            if char == "\\":
+                value_chars.append(body[index:index + 2])
+                index += 2
+            elif char == '"':
+                index += 1
+                break
+            else:
+                value_chars.append(char)
+                index += 1
+        assert key not in labels, f"duplicate label {key}"
+        labels[key] = unescape_label_value("".join(value_chars))
+        if index < len(body):
+            assert body[index] == ",", f"expected ',' at {body[index:]!r}"
+            index += 1
+    return labels
+
+
+def parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    return float(text)
+
+
+class Family:
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+        self.help: str | None = None
+        #: (sample name, labels, value) in exposition order.
+        self.samples: list[tuple[str, dict, float]] = []
+
+
+def base_family(sample_name: str, kinds: dict[str, str]) -> str:
+    """Map ``x_bucket``/``x_sum``/``x_count`` back to histogram ``x``."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        base = sample_name.removesuffix(suffix)
+        if base != sample_name and kinds.get(base) == "histogram":
+            return base
+    return sample_name
+
+
+def parse_exposition(text: str) -> dict[str, Family]:
+    """Parse strictly, asserting every structural conformance rule."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families: dict[str, Family] = {}
+    pending_help: tuple[str, str] | None = None
+    current: str | None = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        help_match = _HELP_RE.match(line)
+        if help_match:
+            assert pending_help is None, \
+                f"HELP {help_match.group(1)} not followed by its TYPE"
+            pending_help = (help_match.group(1), help_match.group(2))
+            continue
+        type_match = _TYPE_RE.match(line)
+        if type_match:
+            name, kind = type_match.groups()
+            assert name not in families, f"TYPE {name} appears twice"
+            family = families[name] = Family(name, kind)
+            if pending_help is not None:
+                assert pending_help[0] == name, \
+                    f"HELP {pending_help[0]} must precede its own TYPE"
+                family.help = pending_help[1]
+                pending_help = None
+            current = name
+            continue
+        assert not line.startswith("#"), f"unparseable comment: {line!r}"
+        sample_match = _SAMPLE_RE.match(line)
+        assert sample_match, f"unparseable sample: {line!r}"
+        name, labels_text, value_text = sample_match.groups()
+        kinds = {fam.name: fam.kind for fam in families.values()}
+        family_name = base_family(name, kinds)
+        assert family_name in families, \
+            f"sample {name} appears before its TYPE"
+        assert family_name == current, \
+            f"sample {name} outside its family's contiguous block"
+        labels = parse_labels(labels_text) if labels_text else {}
+        families[family_name].samples.append(
+            (name, labels, parse_value(value_text)))
+    assert pending_help is None, "dangling HELP with no TYPE"
+    return families
+
+
+def assert_histogram_consistent(family: Family) -> None:
+    """Cumulative buckets, +Inf == _count, _sum present — per label set."""
+    groups: dict[tuple, dict] = {}
+    for name, labels, value in family.samples:
+        key = tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le"))
+        group = groups.setdefault(
+            key, {"buckets": [], "sum": None, "count": None})
+        if name.endswith("_bucket"):
+            group["buckets"].append((float(parse_le(labels["le"])), value))
+        elif name.endswith("_sum"):
+            group["sum"] = value
+        elif name.endswith("_count"):
+            group["count"] = value
+    assert groups, f"histogram {family.name} rendered no samples"
+    for key, group in groups.items():
+        buckets = group["buckets"]
+        assert buckets, f"{family.name}{dict(key)} has no buckets"
+        bounds = [bound for bound, _ in buckets]
+        assert bounds == sorted(bounds), "bucket bounds must ascend"
+        assert bounds[-1] == math.inf, "last bucket must be +Inf"
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert group["count"] == counts[-1], "+Inf bucket must equal _count"
+        assert group["sum"] is not None, "_sum must be present"
+
+
+def parse_le(text: str) -> float:
+    return math.inf if text == "+Inf" else float(text)
+
+
+# ----------------------------------------------------------------------
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("tier_hits_total", {"tier": "DRAM"}).inc(7)
+    registry.counter("tier_hits_total", {"tier": "NVM"}).inc(2)
+    registry.counter("custom_uncatalogued_total").inc(1)
+    registry.gauge("tier_occupancy_ratio", {"tier": "DRAM"}).set(0.5)
+    latency = registry.histogram("op_latency_ns", {"outcome": "dram_hit"})
+    for value in (10.0, 250.0, 1e6, 5e9):
+        latency.observe(value)
+    return registry
+
+
+class TestConformance:
+    def test_full_round_trip_parses_strictly(self):
+        families = parse_exposition(prometheus_text(build_registry()))
+        assert set(families) == {
+            "tier_hits_total", "custom_uncatalogued_total",
+            "tier_occupancy_ratio", "op_latency_ns",
+        }
+        assert families["tier_hits_total"].kind == "counter"
+        assert families["op_latency_ns"].kind == "histogram"
+
+    def test_help_text_comes_from_catalogue(self):
+        families = parse_exposition(prometheus_text(build_registry()))
+        assert families["tier_hits_total"].help == \
+            METRIC_HELP["tier_hits_total"]
+        # Uncatalogued families render without HELP — valid exposition.
+        assert families["custom_uncatalogued_total"].help is None
+
+    def test_counter_values_survive_round_trip(self):
+        families = parse_exposition(prometheus_text(build_registry()))
+        hits = {
+            labels["tier"]: value
+            for _, labels, value in families["tier_hits_total"].samples
+        }
+        assert hits == {"DRAM": 7.0, "NVM": 2.0}
+
+    def test_histogram_consistency(self):
+        families = parse_exposition(prometheus_text(build_registry()))
+        family = families["op_latency_ns"]
+        assert_histogram_consistent(family)
+        count = next(value for name, _, value in family.samples
+                     if name.endswith("_count"))
+        assert count == 4.0
+        total = next(value for name, _, value in family.samples
+                     if name.endswith("_sum"))
+        assert total == pytest.approx(10.0 + 250.0 + 1e6 + 5e9)
+
+    def test_label_escaping_round_trips_nasty_values(self):
+        nasty = 'he said "hi"\n back\\slash'
+        registry = MetricsRegistry()
+        registry.counter("custom_total", {"note": nasty}).inc(1)
+        text = prometheus_text(registry)
+        # The raw line must contain the escaped forms, not raw bytes.
+        assert r"\n" in text and r"\\" in text and r"\"" in text
+        assert "\n back" not in text.replace("\n# ", "")
+        families = parse_exposition(text)
+        _, labels, value = families["custom_total"].samples[0]
+        assert labels["note"] == nasty
+        assert value == 1.0
+
+    def test_escape_helper_matches_parser(self):
+        nasty = 'quote " slash \\ newline \n end'
+        assert unescape_label_value(escape_label_value(nasty)) == nasty
+
+    def test_empty_registry_renders_single_newline(self):
+        assert prometheus_text(MetricsRegistry()) == "\n"
+        assert parse_exposition("\n") == {}
