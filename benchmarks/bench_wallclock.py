@@ -35,6 +35,14 @@ The measurements, written to ``BENCH_repro.json`` next to this script
   subscriber count, allocation-free fast path intact, i.e. a fully
   detached bus has zero added cost.
 
+* **serving-plane replay** — a fixed-seed ``serve-bench`` run
+  (:func:`repro.serve.bench.run_serve_bench`): schedule generation plus
+  the virtual-time admission/dispatch replay, best of ``--repeats``
+  passes.  ``ops_per_second`` is wall-clock ops through the serving
+  path; ``p99_ns`` is the (machine-independent) admitted-request tail
+  from the SLO report.  The ratchet holds ``ops_per_second`` to the
+  committed baseline like the inner loops.
+
 * **tenancy overhead** — the same cell with metrics attached, untagged
   and then tenant-tagged (``Cell.track_tenants``: the buffer manager is
   built with ``TenancyConfig.single()`` and every op flows through the
@@ -363,6 +371,35 @@ def time_cell_telemetry(overhead_budget: float,
     }, violations
 
 
+def time_cell_serve(repeats: int) -> dict:
+    """Wall-clock the deterministic serving-plane replay.
+
+    One ``serve-bench`` unit of work: generate the seeded open-loop
+    schedule and replay it through admission + the single-server
+    queueing model.  Fixed seed, so the SLO payload is byte-stable;
+    only the wall clock varies across machines.
+    """
+    from repro.serve.bench import ServeBenchConfig, run_serve_bench
+
+    config = ServeBenchConfig(seed=11, total_ops=4_000)
+    best = float("inf")
+    report = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        report = run_serve_bench(config)
+        best = min(best, time.perf_counter() - t0)
+    totals = report["totals"]
+    return {
+        "label": "serve-bench/seed11-4k",
+        "wall_seconds": round(best, 3),
+        "ops_per_second": round(totals["admitted"] / best, 1),
+        "admitted": totals["admitted"],
+        "shed": totals["shed"],
+        "p99_ns": totals["latency"]["p99_ns"],
+        "goodput_ops_per_s": totals["goodput_ops_per_s"],
+    }
+
+
 def matrix_cell(index: int) -> Cell:
     """One cell of the figure-matrix-style parallel batch."""
     return Cell.tpcc(f"bench/matrix-{index}", SHAPE, SPITFIRE_LAZY, DB_GB,
@@ -530,6 +567,8 @@ def check_ratchet(report: dict, baseline_path: Path,
     checks = [("inner_loop", "per-op inner loop")]
     if batched is not None and baseline.get("inner_loop_batched"):
         checks.append(("inner_loop_batched", "batched inner loop"))
+    if report.get("cell_serve") and baseline.get("cell_serve"):
+        checks.append(("cell_serve", "serving-plane replay"))
     for key, what in checks:
         old = baseline[key]["ops_per_second"]
         new = report[key]["ops_per_second"]
@@ -588,6 +627,8 @@ def history_entry(report: dict, check_passed: bool) -> dict:
         "batch_speedup": batched.get("speedup_vs_per_op"),
         "parallel_speedup": parallel.get("speedup"),
         "cell_wall_seconds": report["cell"]["wall_seconds"],
+        "serve_ops_per_second":
+            (report.get("cell_serve") or {}).get("ops_per_second"),
         "metrics_overhead_fraction":
             report["cell_with_metrics"]["overhead_fraction"],
         "tenancy_overhead_fraction":
@@ -688,6 +729,7 @@ def main(argv: list[str] | None = None) -> int:
         "machine": platform.machine(),
         "inner_loop": inner,
         "cell": time_cell_serial(),
+        "cell_serve": time_cell_serve(args.repeats),
         "cell_with_metrics": metrics_report,
         "cell_with_tenancy": tenancy_report,
         "cell_with_telemetry": telemetry_report,

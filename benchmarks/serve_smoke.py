@@ -1,0 +1,213 @@
+"""CI smoke test for the live serving plane (``repro-experiments serve``).
+
+Exercises the full process lifecycle the way an operator would:
+
+1. spawn ``python -m repro.cli serve`` as a real subprocess
+   (``--metrics-port 0 --slo-out ...``, optional chaos via
+   ``--fault-seed``), and parse the announced listen/metrics addresses
+   from its stdout;
+2. drive a seeded client fleet against it over real sockets
+   (:func:`repro.serve.loadgen.drive_server`) — including one explicit
+   ``crash`` op so recovery runs under live load;
+3. scrape ``/metrics`` and probe ``/healthz`` + ``/readyz`` *mid-run*;
+4. send SIGTERM and assert a clean graceful drain: exit code 0, the
+   drain summary on stdout, and a well-formed SLO artifact on disk
+   whose totals agree with what the fleet observed.
+
+Exit status 0 when every assertion holds — wired into CI as the
+serve-smoke job.  Wall-clock latencies are non-deterministic by
+design; everything asserted here is structural.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+    PYTHONPATH=src python benchmarks/serve_smoke.py --ops 600 --out artifacts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.serve import protocol
+from repro.serve.bench import default_tenants
+from repro.serve.loadgen import LoadSpec, build_schedule, drive_server
+
+STARTUP_TIMEOUT_S = 30.0
+DRAIN_TIMEOUT_S = 60.0
+
+
+def fail(message: str) -> None:
+    print(f"SERVE SMOKE FAILED: {message}")
+    raise SystemExit(1)
+
+
+def spawn_server(slo_path: Path, fault_seed: int | None) -> subprocess.Popen:
+    command = [
+        sys.executable, "-u", "-m", "repro.cli", "serve",
+        "--port", "0", "--metrics-port", "0",
+        "--tenants", "3", "--slo-out", str(slo_path),
+    ]
+    if fault_seed is not None:
+        command += ["--fault-seed", str(fault_seed), "--fault-rate", "0.01"]
+    return subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=str(Path(__file__).resolve().parent.parent),
+    )
+
+
+def await_addresses(proc: subprocess.Popen) -> tuple[str, int, str, list[str]]:
+    """Parse the announced listen/metrics addresses off stdout."""
+    lines: list[str] = []
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    host = metrics_url = None
+    port = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            fail(f"server exited during startup; output so far: {lines}")
+        lines.append(line.rstrip("\n"))
+        stripped = line.strip()
+        if stripped.startswith("listening on "):
+            address = stripped.removeprefix("listening on ")
+            host, _, port_text = address.rpartition(":")
+            port = int(port_text)
+        elif stripped.startswith("metrics at "):
+            metrics_url = stripped.removeprefix("metrics at ")
+        if host is not None and metrics_url is not None:
+            return host, port, metrics_url, lines
+    fail(f"server never announced its addresses; output: {lines}")
+
+
+def http_get(url: str) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8", "replace")
+
+
+async def crash_once(host: str, port: int) -> dict:
+    """One extra session that triggers the recovery drill mid-run."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await protocol.write_frame(
+            writer, {"op": "hello", "seq": 0, "tenant": 0})
+        hello = await protocol.read_frame(reader)
+        assert hello["ok"], hello
+        await protocol.write_frame(writer, {"op": "crash", "seq": 1})
+        return await protocol.read_frame(reader)
+    finally:
+        writer.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=400,
+                        help="fleet ops to drive (default: 400)")
+    parser.add_argument("--seed", type=int, default=17,
+                        help="load-schedule seed (default: 17)")
+    parser.add_argument("--fault-seed", type=int, default=9,
+                        help="chaos fault-plan seed; negative disables "
+                             "(default: 9)")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="keep artifacts (SLO report, metrics scrape) "
+                             "under DIR")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out) if args.out else Path("serve-smoke-artifacts")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    slo_path = out_dir / "slo.json"
+    fault_seed = args.fault_seed if args.fault_seed >= 0 else None
+
+    proc = spawn_server(slo_path, fault_seed)
+    try:
+        host, port, metrics_url, _ = await_addresses(proc)
+        print(f"server up at {host}:{port}, metrics at {metrics_url}")
+
+        base = metrics_url.rsplit("/", 1)[0]
+        status, _ = http_get(f"{base}/healthz")
+        if status != 200:
+            fail(f"/healthz answered {status}, expected 200")
+        status, _ = http_get(f"{base}/readyz")
+        if status != 200:
+            fail(f"/readyz answered {status}, expected 200")
+
+        schedule = build_schedule(LoadSpec(
+            tenants=default_tenants(3), total_ops=args.ops,
+            seed=args.seed))
+
+        async def drive_and_scrape():
+            fleet = asyncio.create_task(drive_server(host, port, schedule))
+            # Scrape while the fleet is in flight — the point of the
+            # smoke is observability *during* load, not after.
+            await asyncio.sleep(0.05)
+            mid_status, mid_body = await asyncio.to_thread(
+                http_get, metrics_url)
+            crash = await crash_once(host, port)
+            return await fleet, mid_status, mid_body, crash
+
+        report, mid_status, mid_body, crash = asyncio.run(drive_and_scrape())
+
+        if mid_status != 200:
+            fail(f"mid-run /metrics scrape answered {mid_status}")
+        if "serve_requests_total" not in mid_body:
+            fail("mid-run scrape lacks serve_requests_total")
+        (out_dir / "metrics.prom").write_text(mid_body)
+
+        if not crash.get("ok") or crash.get("invariants_ok") is not True:
+            fail(f"crash drill failed under live load: {crash}")
+        print(f"crash drill: recovered_pages={crash['recovered_pages']} "
+              f"invariants_ok={crash['invariants_ok']}")
+
+        client_totals = report["totals"]
+        if report["errors"]:
+            fail(f"fleet saw hard errors: {report['errors'][:5]}")
+        if client_totals["admitted"] + client_totals["shed"] \
+                != len(schedule.arrivals):
+            fail("fleet lost requests: admitted + shed != scheduled")
+        print(f"fleet done: admitted={client_totals['admitted']} "
+              f"shed={client_totals['shed']}")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=DRAIN_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            fail("server did not drain within the timeout")
+        tail = proc.stdout.read()
+        if proc.returncode != 0:
+            fail(f"server exited {proc.returncode}; tail: {tail[-2000:]}")
+        if "draining..." not in tail or "drained: served=" not in tail:
+            fail(f"drain summary missing from output; tail: {tail[-2000:]}")
+
+        if not slo_path.exists():
+            fail(f"SLO artifact {slo_path} was not written")
+        slo = json.loads(slo_path.read_text())
+        server_totals = slo["totals"]
+        # +1: the crash op is control-plane, not a latency sample, but
+        # the fleet's data ops must all be accounted for server-side.
+        if server_totals["admitted"] != client_totals["admitted"]:
+            fail(f"server admitted {server_totals['admitted']} != "
+                 f"client view {client_totals['admitted']}")
+        if slo["config"]["faults"] != (fault_seed is not None):
+            fail("SLO config does not record the chaos plan")
+        print(f"drain clean: exit 0, SLO artifact at {slo_path} "
+              f"(admitted={server_totals['admitted']}, "
+              f"goodput={server_totals['goodput_ops_per_s']:.0f} ops/s)")
+        print("serve smoke OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

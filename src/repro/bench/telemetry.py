@@ -151,6 +151,7 @@ class ProgressAggregator:
         self._thread: threading.Thread | None = None
         self._last_render = 0.0
         self._started = 0.0
+        self._rendered = False
 
     # ------------------------------------------------------------------
     def start(self) -> "ProgressAggregator":
@@ -168,27 +169,54 @@ class ProgressAggregator:
         self.channel.emit("__stop__")
         thread.join(timeout=5.0)
         self._thread = None
+        self.clear_line()
         if final_line:
             try:
                 print(self.render_summary(), file=self.stream)
             except Exception:
                 pass
 
+    def clear_line(self) -> None:
+        """Blank the in-place status line (idempotent, never raises).
+
+        The live renderer rewrites one ``\\r``-anchored line; anything
+        the session prints afterwards — a traceback, a
+        KeyboardInterrupt notice, the final summary — would otherwise
+        land on top of stale progress text.
+        """
+        if not self._rendered:
+            return
+        self._rendered = False
+        try:
+            print(f"\r{'':<100}\r", end="", file=self.stream, flush=True)
+        except Exception:
+            pass
+
     # ------------------------------------------------------------------
     def _drain(self) -> None:
-        while True:
-            try:
-                event = self.channel.queue.get(timeout=0.25)
-            except Exception:
-                event = None
-            if event is not None:
-                if event.get("kind") == "__stop__":
+        # The finally guarantees the status line is wiped even when the
+        # drain dies mid-run (KeyboardInterrupt in the main thread tears
+        # down the manager queue and get() starts raising, or _apply
+        # trips on a malformed event) — stderr must be left clean for
+        # whatever error output follows.
+        try:
+            while True:
+                try:
+                    event = self.channel.queue.get(timeout=0.25)
+                except (KeyboardInterrupt, SystemExit):
                     return
-                self._apply(event)
-            now = time.time()
-            if now - self._last_render >= self.render_interval:
-                self._last_render = now
-                self._render(now)
+                except Exception:
+                    event = None
+                if event is not None:
+                    if event.get("kind") == "__stop__":
+                        return
+                    self._apply(event)
+                now = time.time()
+                if now - self._last_render >= self.render_interval:
+                    self._last_render = now
+                    self._render(now)
+        finally:
+            self.clear_line()
 
     def _apply(self, event: dict) -> None:
         kind = event.get("kind")
@@ -271,6 +299,7 @@ class ProgressAggregator:
         try:
             print(f"\r{self.render_line(now):<100}", end="",
                   file=self.stream, flush=True)
+            self._rendered = True
         except Exception:
             pass
 

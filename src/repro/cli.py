@@ -12,6 +12,9 @@ Usage::
     repro-experiments fig6 --trace-decisions 0.05 \\
         --metrics-out m.prom --decision-trace-out decisions.jsonl
     repro-experiments serve-metrics fig6 --metrics-out m.prom
+    repro-experiments serve --metrics-port 0 --slo-out slo.json
+    repro-experiments serve-bench --seed 11 --ops 4000 --out slo.json
+    repro-experiments serve-bench --overload   # bounded-p99 demo
     repro-experiments report results/run_summary.json
     repro-experiments report --diff OLD.json NEW.json
     repro-experiments chaos --seeds 1 7 --jobs 4 --out chaos.json --live
@@ -72,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
         return chaos_main(argv[1:])
     if argv and argv[0] == "serve-metrics":
         return serve_metrics_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        return serve_bench_main(argv[1:])
     if argv and argv[0] == "report":
         return report_main(argv[1:])
     parser = argparse.ArgumentParser(
@@ -505,6 +512,201 @@ def serve_metrics_main(argv: list[str]) -> int:
         print("   SERVE-METRICS FAILED: final scrape diverged from the "
               "export")
     return 0 if matches else 1
+
+
+def serve_main(argv: list[str]) -> int:
+    """``repro-experiments serve``: the live serving plane.
+
+    Starts one shared buffer manager behind the asyncio stream server
+    (see ``docs/SERVING.md`` for the wire protocol), serves until
+    SIGTERM/SIGINT, then drains gracefully: the listener closes,
+    admission flips to drain mode, in-flight dispatch finishes, dirty
+    pages flush, and a final SLO report covers everything served.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Serve one shared three-tier buffer manager to "
+                    "concurrent client sessions until SIGTERM.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to serve on (default: 0 = pick free)")
+    parser.add_argument("--policy", default="Spitfire-Eager",
+                        help="Table 3 policy preset (default: "
+                             "Spitfire-Eager)")
+    parser.add_argument("--dram-gb", type=float, default=0.5)
+    parser.add_argument("--nvm-gb", type=float, default=2.0)
+    parser.add_argument("--ssd-gb", type=float, default=8.0)
+    parser.add_argument("--tenants", type=int, default=4, metavar="N",
+                        help="tenant count sessions may hello as "
+                             "(default: 4)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--max-queue-depth", type=int, default=64,
+                        metavar="N",
+                        help="per-tenant admitted-but-unfinished cap; "
+                             "beyond it arrivals shed (default: 64)")
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        metavar="OPS_PER_S",
+                        help="per-tenant token-bucket rate (default: off)")
+    parser.add_argument("--no-admission", action="store_true",
+                        help="disable shedding (unbounded queueing; for "
+                             "the overload comparison only)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve /metrics, /healthz, /readyz on PORT "
+                             "(0 = pick free; default: no endpoint)")
+    parser.add_argument("--slo-out", metavar="PATH",
+                        help="write the shutdown SLO report to PATH")
+    parser.add_argument("--fault-seed", type=int, default=None, metavar="N",
+                        help="inject seeded device faults under the live "
+                             "load (chaos mode)")
+    parser.add_argument("--fault-rate", type=float, default=0.01,
+                        metavar="R",
+                        help="transient read/write fault rate in chaos "
+                             "mode (default: 0.01)")
+    args = parser.parse_args(argv)
+
+    import asyncio
+
+    from .faults.plan import FaultPlan
+    from .serve import AdmissionConfig, ServeConfig, SpitfireServer
+    from .serve.slo import render_slo_report
+
+    fault_plan = None
+    if args.fault_seed is not None:
+        fault_plan = FaultPlan.seeded(
+            args.fault_seed,
+            horizon_ops=1_000_000,
+            read_error_rate=args.fault_rate,
+            write_error_rate=args.fault_rate,
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        policy=args.policy,
+        dram_gb=args.dram_gb,
+        nvm_gb=args.nvm_gb,
+        ssd_gb=args.ssd_gb,
+        num_tenants=args.tenants,
+        seed=args.seed,
+        admission=AdmissionConfig(
+            max_queue_depth=args.max_queue_depth,
+            rate_ops_per_s=args.rate_limit,
+            enabled=not args.no_admission,
+        ),
+        fault_plan=fault_plan,
+        metrics_port=args.metrics_port,
+        slo_out=args.slo_out,
+    )
+
+    async def run() -> dict:
+        server = SpitfireServer(config)
+        await server.start()
+        print(f"   listening on {server.host}:{server.port}", flush=True)
+        if server.metrics is not None:
+            print(f"   metrics at {server.metrics.url}", flush=True)
+        if fault_plan is not None:
+            print(f"   chaos: fault plan seed={args.fault_seed} "
+                  f"rate={args.fault_rate}", flush=True)
+        server.install_signal_handlers()
+        await server.wait_shutdown()
+        print("   draining...", flush=True)
+        return await server.shutdown()
+
+    summary = asyncio.run(run())
+    print(f"   drained: served={summary['served']} shed={summary['shed']} "
+          f"flushed_pages={summary['flushed_pages']} "
+          f"crashes={summary['crashes']}")
+    print(render_slo_report(summary["slo"]))
+    if args.slo_out:
+        print(f"   saved {args.slo_out}")
+    return 0
+
+
+def serve_bench_main(argv: list[str]) -> int:
+    """``repro-experiments serve-bench``: deterministic serving SLOs.
+
+    The serving plane measured in virtual time: a seeded open-loop
+    client fleet against the same dispatcher/admission code the live
+    server runs, producing a byte-deterministic SLO report (identical
+    across runs and ``--jobs`` values).  ``--overload`` runs the
+    bounded-p99-versus-unbounded-queueing comparison instead.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve-bench",
+        description="Measure serving SLOs (latency quantiles, shed "
+                    "rate, goodput) deterministically in virtual time.",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--ops", type=int, default=4_000, metavar="N",
+                        help="total arrivals across the fleet "
+                             "(default: 4000)")
+    parser.add_argument("--rate", type=float, default=40_000.0,
+                        metavar="OPS_PER_S",
+                        help="aggregate arrival rate (default: 40000)")
+    parser.add_argument("--policy", default="Spitfire-Eager")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="schedule-generation workers (default: 1; "
+                             "the report is byte-identical at any count)")
+    parser.add_argument("--max-queue-depth", type=int, default=64,
+                        metavar="N")
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        metavar="OPS_PER_S",
+                        help="per-tenant token-bucket rate (default: off)")
+    parser.add_argument("--no-admission", action="store_true",
+                        help="disable shedding (unbounded queueing)")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the overload comparison (admission on "
+                             "vs off at 30x the arrival rate)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the SLO report JSON to PATH")
+    args = parser.parse_args(argv)
+
+    from .serve.bench import (
+        ServeBenchConfig,
+        run_overload_experiment,
+        run_serve_bench,
+    )
+    from .serve.admission import AdmissionConfig
+    from .serve.slo import render_slo_report, slo_report_json
+
+    config = ServeBenchConfig(
+        seed=args.seed,
+        total_ops=args.ops,
+        rate_ops_per_s=args.rate,
+        policy=args.policy,
+        admission=AdmissionConfig(
+            max_queue_depth=args.max_queue_depth,
+            rate_ops_per_s=args.rate_limit,
+            enabled=not args.no_admission,
+        ),
+    )
+    started = time.time()
+    if args.overload:
+        result = run_overload_experiment(config, jobs=args.jobs)
+        summary = result["summary"]
+        on = result["legs"]["admission_on"]["totals"]
+        print(f"serve-bench overload: {on['arrivals']} arrivals at "
+              f"{config.rate_ops_per_s * 30:,.0f} ops/s  "
+              f"[{time.time() - started:.1f}s]")
+        print(f"   admission on : shed={summary['shed_rate_on']:.1%}  "
+              f"p99={summary['p99_on_ns']:,.0f}ns")
+        print(f"   admission off: shed={summary['shed_rate_off']:.1%}  "
+              f"p99={summary['p99_off_ns']:,.0f}ns")
+        print(f"   bounded tail is {summary['p99_ratio']:.1f}x lower "
+              f"with shedding")
+        payload = result
+    else:
+        report = run_serve_bench(config, jobs=args.jobs)
+        print(f"serve-bench: seed={args.seed} ops={args.ops} "
+              f"jobs={args.jobs}  [{time.time() - started:.1f}s]")
+        print(render_slo_report(report))
+        payload = report
+    if args.out:
+        Path(args.out).write_text(slo_report_json(payload))
+        print(f"   saved {args.out}")
+    return 0
 
 
 def report_main(argv: list[str]) -> int:

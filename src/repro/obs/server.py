@@ -26,7 +26,14 @@ CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class MetricsServer:
-    """Serves ``provider()`` at ``/metrics`` (and ``/``) until stopped."""
+    """Serves ``provider()`` at ``/metrics`` (and ``/``) until stopped.
+
+    Also exposes the two conventional probe endpoints: ``/healthz``
+    answers 200 whenever the server is up (liveness), ``/readyz``
+    answers 503 until the first successful provider render — or an
+    explicit :meth:`mark_ready` — and 200 afterwards (readiness).  The
+    serving plane reuses this as its health surface.
+    """
 
     def __init__(self, provider, host: str = "127.0.0.1",
                  port: int = 0) -> None:
@@ -34,8 +41,13 @@ class MetricsServer:
         self.host = host
         self.port = port
         self.requests_served = 0
+        self.ready = False
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+
+    def mark_ready(self) -> None:
+        """Flip ``/readyz`` to 200 without waiting for a scrape."""
+        self.ready = True
 
     # ------------------------------------------------------------------
     def start(self) -> "MetricsServer":
@@ -44,15 +56,35 @@ class MetricsServer:
         server = self
 
         class Handler(BaseHTTPRequestHandler):
+            def _send_text(self, status: int, text: str) -> None:
+                body = text.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type",
+                                 "text/plain; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
             def do_GET(self):  # noqa: N802 (stdlib handler casing)
+                if self.path == "/healthz":
+                    self._send_text(200, "ok\n")
+                    return
+                if self.path == "/readyz":
+                    if server.ready:
+                        self._send_text(200, "ready\n")
+                    else:
+                        self._send_text(503, "not ready\n")
+                    return
                 if self.path not in ("/metrics", "/"):
-                    self.send_error(404, "only /metrics is served")
+                    self.send_error(
+                        404, "only /metrics, /healthz, /readyz are served")
                     return
                 try:
                     body = server.provider().encode("utf-8")
                 except Exception as exc:  # provider bug, not transport
                     self.send_error(500, f"provider failed: {exc}")
                     return
+                server.ready = True
                 self.send_response(200)
                 self.send_header("Content-Type", CONTENT_TYPE)
                 self.send_header("Content-Length", str(len(body)))
@@ -94,6 +126,19 @@ class MetricsServer:
 
         with urllib.request.urlopen(self.url, timeout=timeout) as response:
             return response.read().decode("utf-8")
+
+    def probe(self, path: str, timeout: float = 5.0) -> tuple[int, str]:
+        """GET an arbitrary path; returns ``(status, body)`` even on
+        error statuses (``/readyz`` legitimately answers 503)."""
+        import urllib.error
+        import urllib.request
+
+        url = f"http://{self.host}:{self.port}{path}"
+        try:
+            with urllib.request.urlopen(url, timeout=timeout) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8", "replace")
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -1,0 +1,72 @@
+"""The live serving plane: one shared hierarchy, many client sessions.
+
+Every workload in the repository so far is a closed-loop batch run —
+the harness drives a buffer manager it owns, measures, and exits.  This
+package is the production face ROADMAP item 5 asks for: a long-running
+asyncio server (:mod:`repro.serve.server`) exposing one shared
+:class:`~repro.core.buffer_manager.BufferManager` to many concurrent
+client sessions over a length-prefixed JSON protocol
+(:mod:`repro.serve.protocol`), with per-tenant admission control and
+overload shedding (:mod:`repro.serve.admission`), a seeded
+deterministic open-loop load generator (:mod:`repro.serve.loadgen`),
+byte-deterministic SLO reporting (:mod:`repro.serve.slo`), and the
+``serve-bench`` virtual-time serving experiment
+(:mod:`repro.serve.bench`).
+
+The one discipline everything here obeys: **all buffer-manager work
+flows through a single dispatch loop**.  The simulated cost accounting
+(and the buffer manager itself) is deterministic only for a serial op
+order, so concurrency lives at the session/admission layer — many
+clients, one dispatcher — exactly the shape a real single-writer
+storage engine serves traffic in.
+"""
+
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Overloaded,
+    OverloadReason,
+    TokenBucket,
+)
+from .bench import (
+    ServeBenchConfig,
+    run_overload_experiment,
+    run_serve_bench,
+)
+from .loadgen import LoadSchedule, LoadSpec, build_schedule, drive_server
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+from .server import ServeConfig, SpitfireServer
+from .slo import build_slo_report, exact_quantile, render_slo_report
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "LoadSchedule",
+    "LoadSpec",
+    "MAX_FRAME_BYTES",
+    "Overloaded",
+    "OverloadReason",
+    "ProtocolError",
+    "ServeBenchConfig",
+    "ServeConfig",
+    "SpitfireServer",
+    "TokenBucket",
+    "build_schedule",
+    "build_slo_report",
+    "decode_message",
+    "drive_server",
+    "encode_message",
+    "exact_quantile",
+    "read_frame",
+    "render_slo_report",
+    "run_overload_experiment",
+    "run_serve_bench",
+    "write_frame",
+]

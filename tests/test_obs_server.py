@@ -74,3 +74,33 @@ class TestMetricsServer:
     def test_port_zero_picks_a_free_port(self):
         with MetricsServer(lambda: "x\n") as server:
             assert server.port != 0
+
+
+class TestHealthEndpoints:
+    def test_healthz_answers_while_running(self):
+        with MetricsServer(lambda: "x\n") as server:
+            status, body = server.probe("/healthz")
+            assert (status, body) == (200, "ok\n")
+
+    def test_readyz_503_until_first_successful_scrape(self):
+        with MetricsServer(lambda: "x\n") as server:
+            status, body = server.probe("/readyz")
+            assert (status, body) == (503, "not ready\n")
+            server.scrape()  # first successful provider render
+            status, body = server.probe("/readyz")
+            assert (status, body) == (200, "ready\n")
+
+    def test_failed_provider_render_does_not_flip_readiness(self):
+        def broken() -> str:
+            raise RuntimeError("no registry yet")
+
+        with MetricsServer(broken) as server:
+            with pytest.raises(urllib.error.HTTPError):
+                get(server.url)
+            assert server.probe("/readyz")[0] == 503
+
+    def test_mark_ready_flips_without_a_scrape(self):
+        with MetricsServer(lambda: "x\n") as server:
+            assert server.probe("/readyz")[0] == 503
+            server.mark_ready()
+            assert server.probe("/readyz")[0] == 200

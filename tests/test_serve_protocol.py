@@ -1,0 +1,117 @@
+"""The serving wire protocol: framing, limits, envelope validation."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.serve import protocol
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestFraming:
+    def test_encode_is_length_prefixed_compact_sorted_json(self):
+        frame = protocol.encode_message({"b": 1, "a": 2})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert frame[4:] == b'{"a":2,"b":1}'
+
+    def test_round_trip(self):
+        message = {"op": "read", "seq": 3, "page_id": 17}
+
+        async def scenario():
+            reader = feed(protocol.encode_message(message))
+            return await protocol.read_frame(reader)
+
+        assert run(scenario()) == message
+
+    def test_multiple_frames_read_in_order(self):
+        async def scenario():
+            reader = feed(
+                protocol.encode_message({"seq": 1})
+                + protocol.encode_message({"seq": 2})
+            )
+            first = await protocol.read_frame(reader)
+            second = await protocol.read_frame(reader)
+            third = await protocol.read_frame(reader)
+            return first, second, third
+
+        first, second, third = run(scenario())
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert third is None  # clean EOF between frames
+
+    def test_eof_mid_length_prefix_is_protocol_error(self):
+        async def scenario():
+            return await protocol.read_frame(feed(b"\x00\x00"))
+
+        with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+            run(scenario())
+
+    def test_eof_mid_body_is_protocol_error(self):
+        async def scenario():
+            frame = protocol.encode_message({"op": "ping", "seq": 1})
+            return await protocol.read_frame(feed(frame[:-2]))
+
+        with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+            run(scenario())
+
+    def test_oversized_length_rejected_before_read(self):
+        async def scenario():
+            prefix = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+            return await protocol.read_frame(feed(prefix))
+
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            run(scenario())
+
+    def test_oversized_message_refused_at_encode(self):
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.encode_message({"blob": "x" * protocol.MAX_FRAME_BYTES})
+
+
+class TestDecode:
+    def test_non_json_body(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON"):
+            protocol.decode_message(b"\xff\xfe")
+
+    def test_non_object_body(self):
+        body = json.dumps([1, 2]).encode()
+        with pytest.raises(protocol.ProtocolError, match="expected an object"):
+            protocol.decode_message(body)
+
+
+class TestEnvelope:
+    def test_validate_accepts_every_known_op(self):
+        for op in protocol.DATA_OPS + protocol.CONTROL_OPS:
+            assert protocol.validate_request({"op": op, "seq": 0}) == (op, 0)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown op"):
+            protocol.validate_request({"op": "drop_table", "seq": 0})
+
+    @pytest.mark.parametrize("seq", [None, -1, "0", 1.5])
+    def test_bad_seq_rejected(self, seq):
+        with pytest.raises(protocol.ProtocolError, match="seq"):
+            protocol.validate_request({"op": "ping", "seq": seq})
+
+    def test_error_response_shape(self):
+        response = protocol.error_response(
+            7, protocol.ERR_OVERLOADED, "queue full", reason="queue_full")
+        assert response["ok"] is False
+        assert response["seq"] == 7
+        assert response["error"]["kind"] == "overloaded"
+        assert response["error"]["reason"] == "queue_full"
+
+    def test_error_response_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown error kind"):
+            protocol.error_response(1, "weird", "detail")

@@ -1,0 +1,306 @@
+"""The live serving plane: sessions, shedding, chaos, graceful drain.
+
+These tests run a real :class:`~repro.serve.server.SpitfireServer` on a
+loopback socket inside ``asyncio.run`` — wall-clock, so they assert
+behaviour (responses, invariants, drain ordering), never exact bytes;
+the byte-deterministic contracts live in ``test_serve_bench.py``.
+"""
+
+import asyncio
+
+from repro.faults.plan import FaultPlan
+from repro.serve import protocol
+from repro.serve.admission import AdmissionConfig
+from repro.serve.bench import default_tenants
+from repro.serve.loadgen import LoadSpec, build_schedule, drive_server
+from repro.serve.server import ServeConfig, SpitfireServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_server(**overrides) -> SpitfireServer:
+    config = ServeConfig(**{"num_tenants": 3, **overrides})
+    server = SpitfireServer(config)
+    await server.start()
+    return server
+
+
+class Client:
+    """A minimal test client holding one session."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.seq = -1
+
+    @classmethod
+    async def connect(cls, server: SpitfireServer, tenant: int = 0):
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port)
+        client = cls(reader, writer)
+        response = await client.call("hello", tenant=tenant)
+        assert response["ok"], response
+        return client
+
+    async def call(self, op: str, **fields) -> dict:
+        self.seq += 1
+        await protocol.write_frame(
+            self.writer, {"op": op, "seq": self.seq, **fields})
+        return await protocol.read_frame(self.reader)
+
+    async def send_raw(self, message: dict) -> dict:
+        await protocol.write_frame(self.writer, message)
+        return await protocol.read_frame(self.reader)
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except Exception:
+            pass
+
+
+class TestSessions:
+    def test_hello_describes_the_plane(self):
+        async def scenario():
+            server = await start_server()
+            try:
+                client = await Client.connect(server, tenant=1)
+                response = await client.call("ping")
+                assert response["pong"] is True
+                goodbye = await client.call("goodbye")
+                assert goodbye["ok"]
+                await client.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+    def test_hello_rejects_out_of_range_tenant(self):
+        async def scenario():
+            server = await start_server()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                await protocol.write_frame(
+                    writer, {"op": "hello", "seq": 0, "tenant": 99})
+                response = await protocol.read_frame(reader)
+                assert response["error"]["kind"] == protocol.ERR_BAD_REQUEST
+                writer.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+    def test_reads_and_writes_serve_and_report_latency(self):
+        async def scenario():
+            server = await start_server()
+            try:
+                client = await Client.connect(server)
+                read = await client.call(
+                    "read", page_id=5, offset=0, nbytes=64)
+                assert read["ok"]
+                assert read["latency_ns"] > 0
+                assert read["sim_ns"] > 0
+                write = await client.call(
+                    "write", page_id=5, offset=64, nbytes=64)
+                assert write["ok"]
+                batch = await client.call(
+                    "read_batch", page_ids=[1, 2, 3], offsets=[0, 0, 0],
+                    nbytes=64)
+                assert batch["pages"] == 3
+                txn = await client.call("txn", ops=[
+                    {"kind": "read", "page_id": 7},
+                    {"kind": "write", "page_id": 7, "offset": 128},
+                ])
+                assert txn["ops"] == 2
+                stats = await client.call("stats")
+                assert stats["stats"]["served"] == 4
+                await client.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+    def test_seq_regression_rejected_without_killing_session(self):
+        async def scenario():
+            server = await start_server()
+            try:
+                client = await Client.connect(server)
+                response = await client.send_raw(
+                    {"op": "ping", "seq": 0})  # hello already used 0
+                assert response["error"]["kind"] == protocol.ERR_BAD_SEQ
+                assert (await client.call("ping"))["ok"]  # session lives
+                await client.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+    def test_bad_request_fields_get_typed_errors(self):
+        async def scenario():
+            server = await start_server()
+            try:
+                client = await Client.connect(server)
+                response = await client.call("read", page_id=-1)
+                assert response["error"]["kind"] == protocol.ERR_BAD_REQUEST
+                response = await client.call("txn", ops=[])
+                assert response["error"]["kind"] == protocol.ERR_BAD_REQUEST
+                response = await client.call(
+                    "read_batch", page_ids=[1], offsets=[1, 2])
+                assert response["error"]["kind"] == protocol.ERR_BAD_REQUEST
+                await client.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+
+class TestAdmissionLive:
+    def test_rate_limited_session_sheds_with_overloaded(self):
+        async def scenario():
+            server = await start_server(admission=AdmissionConfig(
+                max_queue_depth=64, rate_ops_per_s=0.001, burst_ops=2.0))
+            try:
+                client = await Client.connect(server)
+                outcomes = []
+                for page in range(4):
+                    response = await client.call(
+                        "read", page_id=page, nbytes=64)
+                    outcomes.append(
+                        response.get("ok") or
+                        response["error"]["kind"])
+                # The burst admits the first two; then the bucket is dry.
+                assert outcomes[:2] == [True, True]
+                assert outcomes[2:] == [protocol.ERR_OVERLOADED] * 2
+                assert len(server.sheds) == 2
+                await client.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+    def test_draining_server_sheds_with_shutting_down(self):
+        async def scenario():
+            server = await start_server()
+            try:
+                client = await Client.connect(server)
+                assert (await client.call("read", page_id=1))["ok"]
+                server.admission.begin_drain()
+                response = await client.call("read", page_id=2)
+                assert response["error"]["kind"] \
+                    == protocol.ERR_SHUTTING_DOWN
+                await client.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())
+
+
+class TestChaosUnderLoad:
+    def test_crash_recovers_with_invariants_while_clients_connected(self):
+        async def scenario():
+            server = await start_server(fault_plan=FaultPlan.seeded(
+                5, horizon_ops=100_000,
+                read_error_rate=0.02, write_error_rate=0.02))
+            try:
+                witness = await Client.connect(server, tenant=1)
+                worker = await Client.connect(server, tenant=0)
+                for page in range(40):
+                    response = await worker.call(
+                        "write", page_id=page, nbytes=64)
+                    assert response["ok"], response
+                crash = await witness.call("crash")
+                assert crash["ok"]
+                assert crash["invariants_ok"] is True
+                assert crash["violations"] == 0
+                assert crash["recovered_pages"] > 0
+                # Both sessions survive the crash and keep serving.
+                assert (await worker.call("read", page_id=3))["ok"]
+                assert (await witness.call("ping"))["pong"]
+                assert server.crashes == 1
+                await worker.close()
+                await witness.close()
+            finally:
+                summary = await server.shutdown()
+            assert summary["crashes"] == 1
+
+        run(scenario())
+
+
+class TestLoadgenDrive:
+    def test_fleet_replay_serves_schedule(self):
+        async def scenario():
+            server = await start_server()
+            try:
+                schedule = build_schedule(LoadSpec(
+                    tenants=default_tenants(3), total_ops=150, seed=4))
+                report = await drive_server(
+                    server.host, server.port, schedule)
+                totals = report["totals"]
+                assert totals["admitted"] == len(schedule.arrivals)
+                assert totals["shed"] == 0
+                assert report["errors"] == []
+                assert set(report["tenants"]) \
+                    == {"alpha", "beta", "gamma"}
+            finally:
+                summary = await server.shutdown()
+            assert summary["served"] == len(schedule.arrivals)
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_shutdown_flushes_and_reports(self):
+        async def scenario():
+            server = await start_server()
+            client = await Client.connect(server)
+            for page in range(10):
+                assert (await client.call(
+                    "write", page_id=page, nbytes=64))["ok"]
+            await client.close()
+            server.request_shutdown()
+            await server.wait_shutdown()
+            summary = await server.shutdown()
+            assert summary["served"] == 10
+            assert summary["flushed_pages"] > 0
+            assert summary["slo"]["totals"]["admitted"] == 10
+
+        run(scenario())
+
+    def test_slo_out_written_on_shutdown(self, tmp_path):
+        out = tmp_path / "slo.json"
+
+        async def scenario():
+            server = await start_server(slo_out=str(out))
+            client = await Client.connect(server)
+            assert (await client.call("read", page_id=1))["ok"]
+            await client.close()
+            return await server.shutdown()
+
+        run(scenario())
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["totals"]["admitted"] == 1
+
+    def test_metrics_surface_serves_health_and_counters(self):
+        async def scenario():
+            server = await start_server(metrics_port=0)
+            try:
+                assert server.metrics.probe("/healthz")[0] == 200
+                # serve marks readiness explicitly once listening.
+                assert server.metrics.probe("/readyz")[0] == 200
+                client = await Client.connect(server, tenant=2)
+                assert (await client.call("read", page_id=1))["ok"]
+                text = await asyncio.to_thread(server.metrics.scrape)
+                assert 'serve_requests_total{op="read",tenant="tenant-2"} 1' \
+                    in text
+                assert "serve_sessions_open 1" in text
+                await client.close()
+            finally:
+                await server.shutdown()
+
+        run(scenario())

@@ -1,0 +1,85 @@
+"""SLO reporting: exact quantiles and byte-stable rendering."""
+
+from repro.serve.slo import (
+    LatencySample,
+    build_slo_report,
+    exact_quantile,
+    render_slo_report,
+    slo_report_json,
+)
+
+
+class TestExactQuantile:
+    def test_order_statistics(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert exact_quantile(values, 0.50) == 50.0
+        assert exact_quantile(values, 0.99) == 99.0
+        assert exact_quantile(values, 0.999) == 100.0
+
+    def test_single_sample(self):
+        assert exact_quantile([7.0], 0.5) == 7.0
+        assert exact_quantile([7.0], 0.999) == 7.0
+
+    def test_empty(self):
+        assert exact_quantile([], 0.99) == 0.0
+
+
+def make_samples():
+    return [
+        LatencySample("alpha", "read", latency_ns=1000.0, wait_ns=200.0),
+        LatencySample("alpha", "read", latency_ns=3000.0, wait_ns=100.0),
+        LatencySample("alpha", "write", latency_ns=2000.0),
+        LatencySample("beta", "read", latency_ns=500.0),
+    ]
+
+
+class TestBuildReport:
+    def test_per_tenant_and_totals(self):
+        report = build_slo_report(
+            make_samples(),
+            sheds=[("beta", "read", "queue_full"),
+                   ("beta", "read", "queue_full"),
+                   ("beta", "write", "rate_limited")],
+            makespan_s=2.0,
+        )
+        alpha = report["tenants"]["alpha"]
+        assert alpha["admitted"] == 3
+        assert alpha["shed"] == 0
+        assert alpha["ops"]["read"]["count"] == 2
+        assert alpha["ops"]["read"]["p99_ns"] == 3000.0
+        beta = report["tenants"]["beta"]
+        assert beta["arrivals"] == 4
+        assert beta["shed_by_reason"] == {"queue_full": 2, "rate_limited": 1}
+        assert beta["shed_rate"] == 0.75
+        totals = report["totals"]
+        assert totals["admitted"] == 4
+        assert totals["shed"] == 3
+        assert totals["goodput_ops_per_s"] == 2.0
+        assert totals["latency"]["max_ns"] == 3000.0
+
+    def test_service_derived_from_wait(self):
+        sample = LatencySample("t", "read", latency_ns=1000.0, wait_ns=300.0)
+        assert sample.service_ns == 700.0
+
+    def test_shed_only_tenant_appears(self):
+        report = build_slo_report(
+            [], sheds=[("ghost", "read", "draining")])
+        assert report["tenants"]["ghost"]["admitted"] == 0
+        assert report["tenants"]["ghost"]["shed"] == 1
+        assert report["tenants"]["ghost"]["ops"] == {}
+
+    def test_json_rendering_is_byte_stable(self):
+        first = slo_report_json(build_slo_report(
+            make_samples(), makespan_s=1.0, config={"seed": 1}))
+        second = slo_report_json(build_slo_report(
+            make_samples(), makespan_s=1.0, config={"seed": 1}))
+        assert first == second
+        assert first.endswith("\n")
+
+    def test_render_table_mentions_every_tenant(self):
+        report = build_slo_report(
+            make_samples(), sheds=[("ghost", "read", "draining")],
+            makespan_s=1.0)
+        text = render_slo_report(report)
+        for tenant in ("alpha", "beta", "ghost"):
+            assert tenant in text

@@ -156,3 +156,61 @@ class TestProgressAggregatorThread:
 
     def test_stop_without_start_is_noop(self):
         make_aggregator().stop()
+
+
+class TestStatusLineCleanup:
+    """The in-place stderr line must be wiped on any exit path."""
+
+    def test_drain_clears_line_when_apply_raises(self):
+        # A malformed event makes _apply blow up mid-drain; the finally
+        # must still blank the status line so the traceback that follows
+        # does not land on top of stale progress text.
+        import threading
+
+        stream = io.StringIO()
+        channel = TelemetryChannel(queue.Queue(), every_ops=10)
+        agg = ProgressAggregator(channel, stream=stream,
+                                 render_interval=0.0).start()
+        channel.emit("cell_start", cell="c", expected_ops=10)
+        deadline = time.time() + 5.0
+        while not agg._rendered and time.time() < deadline:
+            time.sleep(0.01)
+        assert agg._rendered
+        old_hook = threading.excepthook
+        threading.excepthook = lambda args: None  # expected death, no noise
+        try:
+            channel.queue.put_nowait({"kind": "progress"})  # no "cell" key
+            agg._thread.join(timeout=5.0)
+            assert not agg._thread.is_alive()
+        finally:
+            threading.excepthook = old_hook
+        assert stream.getvalue().endswith(f"\r{'':<100}\r")
+
+    def test_stop_clears_line_before_summary(self):
+        stream = io.StringIO()
+        channel = TelemetryChannel(queue.Queue(), every_ops=10)
+        agg = ProgressAggregator(channel, stream=stream,
+                                 render_interval=0.0).start()
+        channel.emit("cell_start", cell="c", expected_ops=10)
+        deadline = time.time() + 5.0
+        while not agg._rendered and time.time() < deadline:
+            time.sleep(0.01)
+        agg.stop()
+        output = stream.getvalue()
+        # The blank-out precedes the summary line.
+        assert f"\r{'':<100}\r" in output
+        assert output.index(f"\r{'':<100}\r") \
+            < output.index("telemetry: 1 cell(s)")
+
+    def test_clear_line_without_render_writes_nothing(self):
+        agg = make_aggregator()
+        agg.clear_line()
+        assert agg.stream.getvalue() == ""
+
+    def test_clear_line_is_idempotent(self):
+        agg = make_aggregator()
+        agg._rendered = True
+        agg.clear_line()
+        first = agg.stream.getvalue()
+        agg.clear_line()
+        assert agg.stream.getvalue() == first
